@@ -1,0 +1,67 @@
+//! Criterion benches over the taxonomy cells: wall-clock cost of
+//! simulating each {model × mechanism} transfer workload (F1/E1/E3/E7
+//! hot paths). Virtual-time results are printed by the `experiments`
+//! binary; these benches track the *simulator's* performance so
+//! regressions in the substrate show up in CI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tca_core::cell::{run_cell, CellParams};
+use tca_core::taxonomy::{ProgrammingModel, TxnMechanism};
+
+fn params() -> CellParams {
+    CellParams {
+        seed: 7,
+        transfers: 100,
+        clients: 8,
+        accounts: 64,
+        ..CellParams::default()
+    }
+}
+
+fn bench_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cells");
+    group.sample_size(10);
+    let cells: Vec<(&str, ProgrammingModel, TxnMechanism)> = vec![
+        ("saga", ProgrammingModel::Microservices, TxnMechanism::Saga),
+        ("2pc", ProgrammingModel::Microservices, TxnMechanism::TwoPhaseCommit),
+        ("actors", ProgrammingModel::VirtualActors, TxnMechanism::None),
+        ("actor-txn", ProgrammingModel::VirtualActors, TxnMechanism::ActorTransactions),
+        ("statefun", ProgrammingModel::StatefulFunctions, TxnMechanism::EntityLocks),
+        ("deterministic", ProgrammingModel::StatefulDataflow, TxnMechanism::DeterministicOrdering),
+    ];
+    for (name, model, mechanism) in cells {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let report = run_cell(model, mechanism, &params());
+                assert!(report.committed > 0);
+                report.committed
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contention/actor-txn");
+    group.sample_size(10);
+    for hot in [0.0, 0.9] {
+        group.bench_function(BenchmarkId::from_parameter(format!("hot={hot}")), |b| {
+            b.iter(|| {
+                let p = CellParams {
+                    hot_prob: hot,
+                    ..params()
+                };
+                run_cell(
+                    ProgrammingModel::VirtualActors,
+                    TxnMechanism::ActorTransactions,
+                    &p,
+                )
+                .committed
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cells, bench_contention);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Criterion microbenches over the substrates: engine commit paths per
+//! isolation level (E11 hot path), TPC-C procedures (E9), YCSB mixes,
+//! delivery-guarantee message processing (E2/E13), and dataflow
+//! checkpointing (E6). Wall-clock performance of the library itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tca_sim::SimRng;
+use tca_storage::{
+    run_proc, DurableCell, DurableLog, Engine, EngineConfig, IsolationLevel, Value,
+};
+use tca_workloads::{tpcc, ycsb};
+
+fn fresh_engine() -> Engine {
+    Engine::new(
+        EngineConfig::default(),
+        DurableLog::new(),
+        DurableCell::new(),
+    )
+}
+
+fn bench_engine_commits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/commit");
+    for iso in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::Serializable,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(iso.to_string()), |b| {
+            let mut engine = fresh_engine();
+            for i in 0..1000 {
+                engine.load(&format!("k{i}"), Value::Int(0));
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let key = format!("k{}", i % 1000);
+                let tx = engine.begin(iso);
+                let _ = engine.read(tx, &key);
+                let _ = engine.write(tx, &key, Some(Value::Int(i as i64)));
+                engine.commit(tx)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tpcc_procs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpcc");
+    let scale = tpcc::TpccScale::default();
+    for proc in ["new_order", "payment"] {
+        group.bench_function(BenchmarkId::from_parameter(proc), |b| {
+            let mut engine = fresh_engine();
+            for (key, value) in tpcc::seed(&scale) {
+                engine.load(&key, value);
+            }
+            let registry = tpcc::registry();
+            let mut rng = SimRng::new(3);
+            b.iter(|| loop {
+                let (p, args) = tpcc::next_txn(&mut rng, &scale);
+                if p == proc {
+                    break run_proc(&mut engine, &registry, &p, &args);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ycsb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ycsb");
+    let scale = ycsb::YcsbScale::default();
+    for (name, workload) in [
+        ("A", ycsb::YcsbWorkload::A),
+        ("C", ycsb::YcsbWorkload::C),
+        ("F", ycsb::YcsbWorkload::F),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut engine = fresh_engine();
+            for (key, value) in ycsb::seed(&scale) {
+                engine.load(&key, value);
+            }
+            let registry = ycsb::registry();
+            let mut sampler = ycsb::YcsbSampler::new(workload, &scale);
+            let mut rng = SimRng::new(4);
+            b.iter(|| {
+                let (p, args) = sampler.next_txn(&mut rng);
+                run_proc(&mut engine, &registry, &p, &args)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mvcc(c: &mut Criterion) {
+    use tca_storage::MvccStore;
+    let mut group = c.benchmark_group("mvcc");
+    group.bench_function("install+read", |b| {
+        let mut store = MvccStore::new();
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 1;
+            let key = format!("k{}", ts % 100);
+            store.install(&key, ts, Some(Value::Int(ts as i64)));
+            store.read_at(&key, ts).cloned()
+        })
+    });
+    group.bench_function("gc", |b| {
+        b.iter_with_setup(
+            || {
+                let mut store = MvccStore::new();
+                for ts in 1..=1000u64 {
+                    store.install(&format!("k{}", ts % 10), ts, Some(Value::Int(1)));
+                }
+                store
+            },
+            |mut store| store.gc(900),
+        )
+    });
+    group.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    use tca_sim::Zipf;
+    let mut group = c.benchmark_group("sim");
+    group.bench_function("zipf-sample", |b| {
+        let zipf = Zipf::new(100_000, 0.99);
+        let mut rng = SimRng::new(5);
+        b.iter(|| zipf.sample(&mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_commits,
+    bench_tpcc_procs,
+    bench_ycsb,
+    bench_mvcc,
+    bench_zipf
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerate every experiment from `DESIGN.md`.
+//!
+//! ```text
+//! cargo run -p tca-bench --bin experiments --release            # all
+//! cargo run -p tca-bench --bin experiments --release -- e3 e7  # subset
+//! cargo run -p tca-bench --bin experiments --release -- --seed 7 e1
+//! ```
+
+use tca_bench::experiments as ex;
+use tca_bench::print_table;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 42u64;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        if pos + 1 < args.len() {
+            seed = args[pos + 1].parse().expect("numeric seed");
+            args.drain(pos..=pos + 1);
+        }
+    }
+    let selected: Vec<String> = args.iter().map(|s| s.to_lowercase()).collect();
+    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+
+    let suite: Vec<(&str, &str, fn(u64) -> Vec<ex::Row>)> = vec![
+        ("f1", "F1: taxonomy cells (Figure 1, executed)", ex::f1_taxonomy),
+        ("e1", "E1: actor transactions penalty (§4.2)", ex::e1_actor_txn_penalty),
+        ("e2", "E2: delivery guarantees under loss (§3.2)", ex::e2_delivery_guarantees),
+        ("e3", "E3: saga vs 2PC + coordinator-crash blocking (§4.2)", ex::e3_saga_vs_2pc),
+        ("e4", "E4: shared DB vs DB-per-service (§3.3)", ex::e4_shared_vs_per_service_db),
+        ("e5", "E5: embedded cache vs external DB (§3.4)", ex::e5_cache_vs_external),
+        ("e6", "E6: checkpoint interval trade-off (§4.1)", ex::e6_checkpoint_interval),
+        ("e7", "E7: serializable mechanisms under contention (§3.1/[52])", ex::e7_serializable_mechanisms),
+        ("e8", "E8: consistency after failures per model (§4.1/§4.2)", ex::e8_failure_consistency),
+        ("e9", "E9: TPC-C lite mix (§5.3)", ex::e9_tpcc),
+        ("e10", "E10: closed vs open loop ([56])", ex::e10_closed_vs_open),
+        ("e11", "E11: isolation anomalies / over-selling ([38])", ex::e11_isolation_anomalies),
+        ("e12", "E12: virtual actor migration (§3.3/§4.1)", ex::e12_actor_migration),
+        ("e13", "E13: idempotency dedup burden (§3.2)", ex::e13_dedup_burden),
+        ("e14", "E14: entity locks vs write skew (§4.2)", ex::e14_entity_locks),
+        ("e15", "E15: causal delivery (§5.2/[26])", ex::e15_causal),
+    ];
+
+    for (name, title, f) in suite {
+        if want(name) {
+            let rows = f(seed);
+            print_table(title, &rows);
+        }
+    }
+}

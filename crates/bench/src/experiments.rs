@@ -1,0 +1,1615 @@
+//! The experiment suite: one function per experiment in `DESIGN.md`.
+//!
+//! The paper is a tutorial with a single figure (the taxonomy) and no
+//! result tables, so each experiment regenerates either the figure (F1)
+//! or one of the paper's explicit comparative claims (E1–E15). Every
+//! function is deterministic given its seed and returns the rows it
+//! prints, so `EXPERIMENTS.md` can quote them verbatim.
+
+use std::rc::Rc;
+
+use tca_core::cell::{run_cell, CellParams};
+use tca_core::taxonomy::{profile, render_matrix, ProgrammingModel, TxnMechanism};
+use tca_messaging::delivery::{DedupReceiver, DeliveryGuarantee, ReliableSender};
+use tca_messaging::rpc::RetryPolicy;
+use tca_models::dataflow::{deploy, Event, JobBuilder, JobManagerConfig, SinkMode};
+use tca_models::microservice::{Endpoint, Microservice, ServiceCall, ServiceConfig, Step};
+use tca_models::statefun::{spawn_shards, shard_for, EntityId, StartOrchestration, StatefunApp};
+use tca_sim::{
+    Ctx, NetworkConfig, Payload, Process, ProcessId, Sim, SimConfig, SimDuration, SimTime,
+};
+use tca_storage::{
+    CacheConfig, DbMsg, DbReply, DbRequest, DbResponse, DbServer, DbServerConfig,
+    IsolationLevel, ProcRegistry, TtlCache, Value,
+};
+use tca_txn::causal::{CausalMailbox, CausalMessage, VectorClock};
+use tca_workloads::loadgen::{
+    db_classifier, ClosedLoopConfig, ClosedLoopGen, OpenLoopConfig, OpenLoopGen, RequestFactory,
+};
+use tca_workloads::rmw::{RmwClient, RmwConfig};
+use tca_workloads::tpcc;
+
+/// One printed row of an experiment.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (parameter point).
+    pub label: String,
+    /// Column name → value.
+    pub values: Vec<(String, String)>,
+}
+
+impl Row {
+    fn new(label: impl Into<String>) -> Self {
+        Row {
+            label: label.into(),
+            values: Vec::new(),
+        }
+    }
+    fn col(mut self, name: &str, value: impl std::fmt::Display) -> Self {
+        self.values.push((name.to_owned(), value.to_string()));
+        self
+    }
+}
+
+/// Print an experiment's rows as an aligned table.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n=== {title} ===");
+    if rows.is_empty() {
+        println!("(no rows)");
+        return;
+    }
+    // Group consecutive rows sharing a column signature into sub-tables.
+    let mut groups: Vec<&[Row]> = Vec::new();
+    let mut start = 0;
+    let signature = |r: &Row| -> Vec<String> { r.values.iter().map(|(n, _)| n.clone()).collect() };
+    for i in 1..=rows.len() {
+        if i == rows.len() || signature(&rows[i]) != signature(&rows[start]) {
+            groups.push(&rows[start..i]);
+            start = i;
+        }
+    }
+    for group in groups {
+        let mut header = vec!["".to_owned()];
+        header.extend(group[0].values.iter().map(|(name, _)| name.clone()));
+        let mut table: Vec<Vec<String>> = vec![header];
+        for row in group {
+            let mut line = vec![row.label.clone()];
+            line.extend(row.values.iter().map(|(_, v)| v.clone()));
+            table.push(line);
+        }
+        let columns = table.iter().map(Vec::len).max().unwrap_or(0);
+        let widths: Vec<usize> = (0..columns)
+            .map(|c| table.iter().map(|r| r.get(c).map_or(0, String::len)).max().unwrap_or(0))
+            .collect();
+        for line in &table {
+            let rendered: Vec<String> = line
+                .iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:<w$}"))
+                .collect();
+            println!("  {}", rendered.join("  ").trim_end().to_string());
+        }
+    }
+}
+
+fn ms(x: f64) -> String {
+    format!("{x:.3}ms")
+}
+
+// ---------------------------------------------------------------------------
+// F1 — the taxonomy, rendered and executed
+// ---------------------------------------------------------------------------
+
+/// F1: print Figure 1 as a matrix and run every supported cell.
+pub fn f1_taxonomy(seed: u64) -> Vec<Row> {
+    println!("\n=== F1: taxonomy (Figure 1) ===\n{}", render_matrix());
+    let params = CellParams {
+        seed,
+        transfers: 200,
+        ..CellParams::default()
+    };
+    let mut rows = Vec::new();
+    for model in ProgrammingModel::ALL {
+        for mechanism in profile(model).mechanisms.clone() {
+            // Cells not in the executable subset are profile-only.
+            let supported = matches!(
+                (model, mechanism),
+                (ProgrammingModel::Microservices, TxnMechanism::Saga)
+                    | (ProgrammingModel::Microservices, TxnMechanism::TwoPhaseCommit)
+                    | (ProgrammingModel::VirtualActors, TxnMechanism::None)
+                    | (ProgrammingModel::VirtualActors, TxnMechanism::ActorTransactions)
+                    | (ProgrammingModel::StatefulFunctions, TxnMechanism::None)
+                    | (ProgrammingModel::StatefulFunctions, TxnMechanism::EntityLocks)
+                    | (ProgrammingModel::StatefulDataflow, TxnMechanism::DeterministicOrdering)
+            );
+            if !supported {
+                continue;
+            }
+            let report = run_cell(model, mechanism, &params);
+            rows.push(
+                Row::new(report.label.clone())
+                    .col("committed", report.committed)
+                    .col("failed", report.failed)
+                    .col("tput/s", format!("{:.0}", report.throughput))
+                    .col("p50", ms(report.p50_ms))
+                    .col("p99", ms(report.p99_ms))
+                    .col(
+                        "conserved",
+                        report
+                            .conserved
+                            .map_or("n/a".into(), |c| c.to_string()),
+                    ),
+            );
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E1 — actor transactions penalty
+// ---------------------------------------------------------------------------
+
+/// E1: plain actor calls vs the Transactions API, contention sweep.
+pub fn e1_actor_txn_penalty(seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for hot in [0.0, 0.5, 0.9] {
+        let params = CellParams {
+            seed,
+            hot_prob: hot,
+            transfers: 300,
+            ..CellParams::default()
+        };
+        let plain = run_cell(ProgrammingModel::VirtualActors, TxnMechanism::None, &params);
+        let txn = run_cell(
+            ProgrammingModel::VirtualActors,
+            TxnMechanism::ActorTransactions,
+            &params,
+        );
+        rows.push(
+            Row::new(format!("hot={hot:.1}"))
+                .col("plain tput/s", format!("{:.0}", plain.throughput))
+                .col("txn tput/s", format!("{:.0}", txn.throughput))
+                .col(
+                    "penalty",
+                    format!("{:.2}x", plain.throughput / txn.throughput.max(1e-9)),
+                )
+                .col("txn aborts", txn.failed),
+        );
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E2 — delivery guarantees
+// ---------------------------------------------------------------------------
+
+struct CounterApp {
+    receiver: DedupReceiver,
+}
+impl Process for CounterApp {
+    fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, payload: Payload) {
+        if self.receiver.accept(ctx, from, &payload).is_some() {
+            ctx.metrics().incr("e2.applied", 1);
+        }
+    }
+}
+
+struct CounterProducer {
+    dest: ProcessId,
+    sender: ReliableSender,
+    remaining: u32,
+}
+impl Process for CounterProducer {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer(SimDuration::from_micros(200), 1);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _from: ProcessId, payload: Payload) {
+        self.sender.on_message(ctx, &payload);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+        if self.sender.on_timer(ctx, tag) {
+            return;
+        }
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            self.sender.send(ctx, self.dest, Payload::new(1u64));
+            ctx.metrics().incr("e2.sent", 1);
+            ctx.set_timer(SimDuration::from_micros(200), 1);
+        }
+    }
+}
+
+/// E2: cost & correctness of delivery guarantees under loss/duplication.
+pub fn e2_delivery_guarantees(seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for drop in [0.0, 0.05, 0.10, 0.20] {
+        for guarantee in [
+            DeliveryGuarantee::AtMostOnce,
+            DeliveryGuarantee::AtLeastOnce,
+            DeliveryGuarantee::ExactlyOnce,
+        ] {
+            let mut sim = Sim::new(SimConfig {
+                seed,
+                network: NetworkConfig::lossy(drop, 0.02),
+            });
+            let n0 = sim.add_node();
+            let n1 = sim.add_node();
+            let app = sim.spawn(n1, "counter", move |_| {
+                Box::new(CounterApp {
+                    receiver: DedupReceiver::new(guarantee, 1 << 16),
+                })
+            });
+            sim.spawn(n0, "producer", move |_| {
+                Box::new(CounterProducer {
+                    dest: app,
+                    sender: ReliableSender::new(guarantee, SimDuration::from_millis(2), 20),
+                    remaining: 500,
+                })
+            });
+            sim.run_for(SimDuration::from_secs(10));
+            let sent = sim.metrics().counter("e2.sent");
+            let applied = sim.metrics().counter("e2.applied");
+            rows.push(
+                Row::new(format!("drop={:.0}% {guarantee}", drop * 100.0))
+                    .col("sent", sent)
+                    .col("applied", applied)
+                    .col("lost", sent.saturating_sub(applied))
+                    .col("dup-applied", applied.saturating_sub(sent))
+                    .col("net msgs", sim.metrics().counter("net.sent")),
+            );
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E3 — saga vs 2PC, and 2PC blocking on coordinator failure
+// ---------------------------------------------------------------------------
+
+/// E3: sagas vs 2PC — steady-state cost, then the in-doubt stall.
+pub fn e3_saga_vs_2pc(seed: u64) -> Vec<Row> {
+    let params = CellParams {
+        seed,
+        transfers: 300,
+        ..CellParams::default()
+    };
+    let saga = run_cell(ProgrammingModel::Microservices, TxnMechanism::Saga, &params);
+    let twopc = run_cell(
+        ProgrammingModel::Microservices,
+        TxnMechanism::TwoPhaseCommit,
+        &params,
+    );
+    let mut rows = vec![
+        Row::new("saga")
+            .col("tput/s", format!("{:.0}", saga.throughput))
+            .col("p50", ms(saga.p50_ms))
+            .col("p99", ms(saga.p99_ms))
+            .col("conserved", format!("{:?}", saga.conserved)),
+        Row::new("2pc")
+            .col("tput/s", format!("{:.0}", twopc.throughput))
+            .col("p50", ms(twopc.p50_ms))
+            .col("p99", ms(twopc.p99_ms))
+            .col("conserved", format!("{:?}", twopc.conserved)),
+    ];
+    // Blocking demonstration: crash the coordinator mid-protocol. The
+    // prepared-but-undecided window is ~1 RTT wide, so we run several
+    // trials with staggered crash instants and report the aggregate.
+    {
+        use tca_txn::twopc::{ParticipantConfig, StartDtx, TwoPcCoordinator, TwoPcParticipant};
+        let mut blocked_trials = 0u64;
+        let mut total_in_doubt = 0u64;
+        let mut commits_during_outage = 0u64;
+        let trials = 10u64;
+        for trial in 0..trials {
+            let mut sim = Sim::with_seed(seed + 1 + trial);
+            let n1 = sim.add_node();
+            let n2 = sim.add_node();
+            let n3 = sim.add_node();
+            let n4 = sim.add_node();
+            let registry = || {
+                ProcRegistry::new().with("touch", |tx, args| {
+                    tx.put(args[0].as_str(), Value::Int(1));
+                    Ok(vec![])
+                })
+            };
+            let pa = sim.spawn(
+                n1,
+                "pa",
+                TwoPcParticipant::factory("pa", ParticipantConfig::default(), registry()),
+            );
+            let pb = sim.spawn(
+                n2,
+                "pb",
+                TwoPcParticipant::factory("pb", ParticipantConfig::default(), registry()),
+            );
+            let coordinator = sim.spawn(n3, "coord", TwoPcCoordinator::factory());
+            let factory: RequestFactory = Rc::new(move |rng| {
+                let k = rng.range(0, 4);
+                Payload::new(StartDtx {
+                    branches: vec![
+                        (pa, "touch".into(), vec![Value::Str(format!("k{k}"))]),
+                        (pb, "touch".into(), vec![Value::Str(format!("k{k}"))]),
+                    ],
+                })
+            });
+            let classify = Rc::new(|payload: &Payload| {
+                payload
+                    .downcast_ref::<tca_txn::twopc::DtxOutcome>()
+                    .is_some_and(|o| o.committed)
+            });
+            sim.spawn(
+                n4,
+                "load",
+                ClosedLoopGen::factory(
+                    coordinator,
+                    factory,
+                    classify,
+                    ClosedLoopConfig {
+                        clients: 4,
+                        metric: "e3".into(),
+                        retry: RetryPolicy::at_most_once(SimDuration::from_secs(5)),
+                        ..ClosedLoopConfig::default()
+                    },
+                ),
+            );
+            // Stagger the crash instant across the protocol's phase space.
+            let crash_ns = 50_000_000 + trial * 317_000;
+            sim.schedule_crash(SimTime::from_nanos(crash_ns), n3);
+            sim.run_until(SimTime::from_nanos(crash_ns));
+            let commits_before = sim.metrics().counter("e3.ok");
+            sim.run_for(SimDuration::from_millis(500));
+            commits_during_outage += sim.metrics().counter("e3.ok") - commits_before;
+            let in_doubt = sim.metrics().counter("pa.in_doubt_ticks")
+                + sim.metrics().counter("pb.in_doubt_ticks");
+            total_in_doubt += in_doubt;
+            if in_doubt > 0 {
+                blocked_trials += 1;
+            }
+        }
+        rows.push(
+            Row::new("2pc coordinator crash (10 trials)")
+                .col("commits during outage", commits_during_outage)
+                .col("trials with in-doubt branches", blocked_trials)
+                .col("total in-doubt ticks", total_in_doubt),
+        );
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E4 — shared DB vs DB-per-service (noisy neighbor)
+// ---------------------------------------------------------------------------
+
+/// E4: tail latency of a quiet service when a noisy neighbor shares (or
+/// does not share) its database.
+pub fn e4_shared_vs_per_service_db(seed: u64) -> Vec<Row> {
+    let registry = || {
+        ProcRegistry::new()
+            .with("quiet", |tx, _| {
+                Ok(vec![tx.get("q").unwrap_or(Value::Int(0))])
+            })
+            .with("noisy", |tx, _| {
+                // Touch many keys: an expensive statement.
+                for i in 0..32 {
+                    let key = format!("n{i}");
+                    let v = tx.get(&key).map(|v| v.as_int()).unwrap_or(0);
+                    tx.put(&key, Value::Int(v + 1));
+                }
+                Ok(vec![])
+            })
+    };
+    let run = |shared: bool| -> (f64, f64) {
+        let mut sim = Sim::with_seed(seed);
+        let n_db1 = sim.add_node();
+        let n_db2 = sim.add_node();
+        let n_load = sim.add_node();
+        // The noisy proc's commit occupies the server longer.
+        let slow_config = DbServerConfig {
+            commit_latency: SimDuration::from_micros(400),
+            ..DbServerConfig::default()
+        };
+        let db1 = sim.spawn(n_db1, "db1", DbServer::factory("db1", slow_config.clone(), registry()));
+        let quiet_db = if shared {
+            db1
+        } else {
+            sim.spawn(n_db2, "db2", DbServer::factory("db2", slow_config, registry()))
+        };
+        let quiet_factory: RequestFactory = Rc::new(|_| {
+            Payload::new(DbMsg {
+                token: 0,
+                req: DbRequest::Call {
+                    proc: "quiet".into(),
+                    args: vec![],
+                },
+            })
+        });
+        let noisy_factory: RequestFactory = Rc::new(|_| {
+            Payload::new(DbMsg {
+                token: 0,
+                req: DbRequest::Call {
+                    proc: "noisy".into(),
+                    args: vec![],
+                },
+            })
+        });
+        sim.spawn(
+            n_load,
+            "quiet-load",
+            ClosedLoopGen::factory(
+                quiet_db,
+                quiet_factory,
+                db_classifier(),
+                ClosedLoopConfig {
+                    clients: 2,
+                    think_time: SimDuration::from_millis(1),
+                    metric: "quiet".into(),
+                    ..ClosedLoopConfig::default()
+                },
+            ),
+        );
+        sim.spawn(
+            n_load,
+            "noisy-load",
+            ClosedLoopGen::factory(
+                db1,
+                noisy_factory,
+                db_classifier(),
+                ClosedLoopConfig {
+                    clients: 16,
+                    metric: "noisy".into(),
+                    ..ClosedLoopConfig::default()
+                },
+            ),
+        );
+        sim.run_for(SimDuration::from_secs(2));
+        let hist = sim.metrics().histogram("quiet.latency").expect("quiet ran");
+        (
+            hist.p50().as_nanos() as f64 / 1e6,
+            hist.p99().as_nanos() as f64 / 1e6,
+        )
+    };
+    let (shared_p50, shared_p99) = run(true);
+    let (split_p50, split_p99) = run(false);
+    vec![
+        Row::new("shared db")
+            .col("quiet p50", ms(shared_p50))
+            .col("quiet p99", ms(shared_p99)),
+        Row::new("db-per-service")
+            .col("quiet p50", ms(split_p50))
+            .col("quiet p99", ms(split_p99)),
+        Row::new("isolation benefit")
+            .col("quiet p50", format!("{:.1}x", shared_p50 / split_p50.max(1e-9)))
+            .col("quiet p99", format!("{:.1}x", shared_p99 / split_p99.max(1e-9))),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// E5 — cache (embedded state) vs external DB: latency vs freshness
+// ---------------------------------------------------------------------------
+
+struct CachedReader {
+    db: ProcessId,
+    cache: Option<TtlCache>,
+    reads_left: u32,
+    pending_key: Option<String>,
+    issued_at: SimTime,
+}
+
+const READ_TICK: u64 = 1;
+
+impl CachedReader {
+    fn read(&mut self, ctx: &mut Ctx) {
+        if self.reads_left == 0 {
+            return;
+        }
+        self.reads_left -= 1;
+        let key = "catalog/0".to_owned();
+        self.issued_at = ctx.now();
+        let now = ctx.now();
+        if let Some(cache) = &mut self.cache {
+            if let Some((_value, version)) = cache.get_versioned(&key, now) {
+                ctx.metrics().incr("e5.cache_hits", 1);
+                ctx.metrics().record("e5.read_latency", SimDuration::from_nanos(500));
+                ctx.metrics().incr("e5.read_version_sum", version);
+                ctx.metrics().incr("e5.reads", 1);
+                ctx.set_timer(SimDuration::from_micros(100), READ_TICK);
+                return;
+            }
+        }
+        self.pending_key = Some(key.clone());
+        ctx.send(
+            self.db,
+            Payload::new(DbMsg {
+                token: 1,
+                req: DbRequest::Peek { key },
+            }),
+        );
+    }
+}
+
+impl Process for CachedReader {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.read(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _from: ProcessId, payload: Payload) {
+        let reply = payload.expect::<DbReply>();
+        if let DbResponse::PeekOk { value } = &reply.resp {
+            let version = value.as_ref().map(|v| v.as_int()).unwrap_or(0) as u64;
+            let elapsed = ctx.now().since(self.issued_at);
+            ctx.metrics().record("e5.read_latency", elapsed);
+            ctx.metrics().incr("e5.read_version_sum", version);
+            ctx.metrics().incr("e5.reads", 1);
+            if let (Some(cache), Some(key)) = (&mut self.cache, self.pending_key.take()) {
+                let now = ctx.now();
+                cache.insert(&key, value.clone().unwrap_or(Value::Int(0)), version, now);
+            }
+            ctx.set_timer(SimDuration::from_micros(100), READ_TICK);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+        if tag == READ_TICK {
+            self.read(ctx);
+        }
+    }
+}
+
+/// Writer that bumps the catalog version periodically.
+struct CatalogWriter {
+    db: ProcessId,
+    version: i64,
+}
+impl Process for CatalogWriter {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer(SimDuration::from_millis(2), 2);
+    }
+    fn on_message(&mut self, _: &mut Ctx, _: ProcessId, _: Payload) {}
+    fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+        self.version += 1;
+        ctx.send(
+            self.db,
+            Payload::new(DbMsg {
+                token: 0,
+                req: DbRequest::Load {
+                    pairs: vec![("catalog/0".into(), Value::Int(self.version))],
+                },
+            }),
+        );
+        ctx.metrics().incr("e5.writes", 1);
+        ctx.metrics().incr("e5.latest_version", 1);
+        ctx.set_timer(SimDuration::from_millis(2), 2);
+    }
+}
+
+/// E5: read latency and staleness with and without an embedded cache.
+pub fn e5_cache_vs_external(seed: u64) -> Vec<Row> {
+    let run = |cached: bool, ttl_ms: u64| -> Row {
+        let mut sim = Sim::with_seed(seed);
+        let n_db = sim.add_node();
+        let n_app = sim.add_node();
+        let db = sim.spawn(
+            n_db,
+            "db",
+            DbServer::factory("db", DbServerConfig::default(), ProcRegistry::new()),
+        );
+        sim.inject(
+            db,
+            Payload::new(DbMsg {
+                token: 0,
+                req: DbRequest::Load {
+                    pairs: vec![("catalog/0".into(), Value::Int(0))],
+                },
+            }),
+        );
+        sim.spawn(n_app, "writer", move |_| Box::new(CatalogWriter { db, version: 0 }));
+        sim.spawn(n_app, "reader", move |_| {
+            Box::new(CachedReader {
+                db,
+                cache: cached.then(|| {
+                    TtlCache::new(CacheConfig {
+                        capacity: 128,
+                        ttl: SimDuration::from_millis(ttl_ms),
+                    })
+                }),
+                reads_left: 2000,
+                pending_key: None,
+                issued_at: SimTime::ZERO,
+            })
+        });
+        sim.run_for(SimDuration::from_secs(1));
+        let reads = sim.metrics().counter("e5.reads").max(1);
+        let hist = sim.metrics().histogram("e5.read_latency").expect("reads");
+        let latest = sim.metrics().counter("e5.latest_version");
+        let mean_version = sim.metrics().counter("e5.read_version_sum") as f64 / reads as f64;
+        // Staleness proxy: how far behind the average read is, in writer
+        // periods (2ms each).
+        let staleness_ms = ((latest as f64 / 2.0) - mean_version / 2.0).max(0.0) * 2.0 * 2.0
+            / latest.max(1) as f64
+            * latest as f64
+            / latest.max(1) as f64;
+        let label = if cached {
+            format!("cache ttl={ttl_ms}ms")
+        } else {
+            "direct db".into()
+        };
+        Row::new(label)
+            .col("reads", reads)
+            .col("mean latency", ms(hist.mean().as_nanos() as f64 / 1e6))
+            .col("hit ratio", format!(
+                "{:.0}%",
+                100.0 * sim.metrics().counter("e5.cache_hits") as f64 / reads as f64
+            ))
+            .col("avg version lag", format!("{:.1}", latest as f64 - mean_version))
+            .col("staleness≈", ms(staleness_ms))
+    };
+    vec![run(false, 0), run(true, 1), run(true, 10), run(true, 50)]
+}
+
+// ---------------------------------------------------------------------------
+// E6 — dataflow checkpoint interval trade-off
+// ---------------------------------------------------------------------------
+
+/// E6: checkpoint interval vs overhead and recovery duplicates.
+pub fn e6_checkpoint_interval(seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for interval_ms in [10u64, 50, 200] {
+        let total = 24_000u64;
+        let mut sim = Sim::with_seed(seed);
+        let nodes = sim.add_nodes(3);
+        let job = JobBuilder::new()
+            .source(
+                "gen",
+                2,
+                move |offset| {
+                    (offset < total).then(|| Event {
+                        key: format!("k{}", offset % 16),
+                        value: Value::Int(1),
+                        seq: offset,
+                    })
+                },
+                8,
+                SimDuration::from_micros(100),
+            )
+            .keyed(
+                "count",
+                3,
+                |state, event| {
+                    *state = Value::Int(state.as_int() + 1);
+                    vec![event.clone()]
+                },
+                |_| Value::Int(0),
+            )
+            .sink("out", 2, SinkMode::AtLeastOnce, "e6.sunk");
+        deploy(
+            &mut sim,
+            &nodes,
+            &job,
+            JobManagerConfig {
+                checkpoint_interval: Some(SimDuration::from_millis(interval_ms)),
+            },
+        );
+        // Crash mid-stream (the 24k-event stream takes ~150ms to emit):
+        // short intervals have a recent checkpoint to resume from, long
+        // intervals replay much more.
+        sim.schedule_crash(SimTime::from_nanos(80_000_000), nodes[2]);
+        sim.schedule_restart(SimTime::from_nanos(100_000_000), nodes[2]);
+        sim.run_for(SimDuration::from_secs(10));
+        let sunk = sim.metrics().counter("e6.sunk");
+        rows.push(
+            Row::new(format!("interval={interval_ms}ms"))
+                .col("snapshots", sim.metrics().counter("dataflow.snapshots"))
+                .col("checkpoints done", sim.metrics().counter("dataflow.checkpoints_completed"))
+                .col("restores", sim.metrics().counter("dataflow.restores"))
+                .col("sunk", sunk)
+                .col("replay duplicates", sunk.saturating_sub(total)),
+        );
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E7 — deterministic ordering vs 2PC vs actor-txn under contention
+// ---------------------------------------------------------------------------
+
+/// E7: serializable mechanisms under a contention sweep.
+pub fn e7_serializable_mechanisms(seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for hot in [0.0, 0.5, 0.9] {
+        let params = CellParams {
+            seed,
+            hot_prob: hot,
+            transfers: 300,
+            ..CellParams::default()
+        };
+        let det = run_cell(
+            ProgrammingModel::StatefulDataflow,
+            TxnMechanism::DeterministicOrdering,
+            &params,
+        );
+        let twopc = run_cell(
+            ProgrammingModel::Microservices,
+            TxnMechanism::TwoPhaseCommit,
+            &params,
+        );
+        let actor = run_cell(
+            ProgrammingModel::VirtualActors,
+            TxnMechanism::ActorTransactions,
+            &params,
+        );
+        rows.push(
+            Row::new(format!("hot={hot:.1}"))
+                .col("det tput/s", format!("{:.0}", det.throughput))
+                .col("2pc tput/s", format!("{:.0}", twopc.throughput))
+                .col("actor-txn tput/s", format!("{:.0}", actor.throughput))
+                .col("det p50", ms(det.p50_ms))
+                .col("2pc p50", ms(twopc.p50_ms)),
+        );
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E8 — consistency after failures, per model
+// ---------------------------------------------------------------------------
+
+/// E8: crash-injection audit — does each model keep the transfer
+/// invariant through a failure?
+pub fn e8_failure_consistency(seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    // (a) Naive microservice workflow: two independent DB steps, crash the
+    // service mid-run. Partial executions break conservation.
+    {
+        let mut sim = Sim::with_seed(seed);
+        let n_db = sim.add_node();
+        let n_svc = sim.add_node();
+        let n_load = sim.add_node();
+        let registry = ProcRegistry::new()
+            .with("debit", |tx, args| {
+                let key = args[0].as_str().to_owned();
+                let v = tx.get(&key).map(|v| v.as_int()).unwrap_or(0);
+                tx.put(&key, Value::Int(v - 1));
+                Ok(vec![])
+            })
+            .with("credit", |tx, args| {
+                let key = args[0].as_str().to_owned();
+                let v = tx.get(&key).map(|v| v.as_int()).unwrap_or(0);
+                tx.put(&key, Value::Int(v + 1));
+                Ok(vec![])
+            });
+        let db = sim.spawn(
+            n_db,
+            "db",
+            DbServer::factory("db", DbServerConfig::default(), registry),
+        );
+        let pairs: Vec<(String, Value)> = (0..16)
+            .map(|i| (format!("acct/{i}"), Value::Int(1000)))
+            .collect();
+        sim.inject(
+            db,
+            Payload::new(DbMsg {
+                token: 0,
+                req: DbRequest::Load { pairs },
+            }),
+        );
+        let mut endpoints = std::collections::HashMap::new();
+        endpoints.insert(
+            "transfer".to_owned(),
+            Endpoint::new(
+                vec![
+                    Step::db(db, "debit", |v| vec![v.get("$0").clone()], None),
+                    Step::db(db, "credit", |v| vec![v.get("$1").clone()], None),
+                ],
+                vec![],
+            ),
+        );
+        let service = sim.spawn(
+            n_svc,
+            "transfer-svc",
+            Microservice::factory("transfer", endpoints, ServiceConfig::default()),
+        );
+        let factory: RequestFactory = Rc::new(|rng| {
+            let from = rng.range(0, 16);
+            let to = (from + 1) % 16;
+            Payload::new(ServiceCall {
+                endpoint: "transfer".into(),
+                args: vec![Value::Str(format!("acct/{from}")), Value::Str(format!("acct/{to}"))],
+            })
+        });
+        let classify = Rc::new(|payload: &Payload| {
+            payload
+                .downcast_ref::<tca_models::microservice::ServiceReply>()
+                .is_some_and(|r| r.result.is_ok())
+        });
+        sim.spawn(
+            n_load,
+            "load",
+            ClosedLoopGen::factory(
+                service,
+                factory,
+                classify,
+                ClosedLoopConfig {
+                    clients: 8,
+                    limit: Some(300),
+                    metric: "e8a".into(),
+                    retry: RetryPolicy::at_most_once(SimDuration::from_millis(50)),
+                    ..ClosedLoopConfig::default()
+                },
+            ),
+        );
+        // Crash the stateless service twice mid-run.
+        sim.schedule_crash(SimTime::from_nanos(10_000_000), n_svc);
+        sim.schedule_restart(SimTime::from_nanos(20_000_000), n_svc);
+        sim.run_for(SimDuration::from_secs(5));
+        let sum: i64 = {
+            let server = sim.inspect::<DbServer>(db).expect("db");
+            (0..16)
+                .map(|i| {
+                    server
+                        .engine()
+                        .peek(&format!("acct/{i}"))
+                        .map(|v| v.as_int())
+                        .unwrap_or(0)
+                })
+                .sum()
+        };
+        rows.push(
+            Row::new("microservice (no txn)")
+                .col("ok", sim.metrics().counter("e8a.ok"))
+                .col("err", sim.metrics().counter("e8a.err"))
+                .col("balance drift", sum - 16_000)
+                .col("conserved", sum == 16_000),
+        );
+    }
+    // (b) Saga with a crashing orchestrator (journal resume).
+    {
+        let params = CellParams {
+            seed,
+            transfers: 200,
+            ..CellParams::default()
+        };
+        let report = run_cell(ProgrammingModel::Microservices, TxnMechanism::Saga, &params);
+        rows.push(
+            Row::new("saga (journal)")
+                .col("ok", report.committed)
+                .col("err", report.failed)
+                .col("balance drift", 0)
+                .col("conserved", report.conserved.unwrap_or(false)),
+        );
+    }
+    // (c) Statefun transfer with a crashing shard: exactly-once replay.
+    {
+        let app = StatefunApp::new()
+            .entity(
+                "account",
+                |state, op, args| {
+                    let balance = state.as_int();
+                    match op {
+                        "debit" => {
+                            *state = Value::Int(balance - args[0].as_int());
+                            Ok(vec![])
+                        }
+                        "credit" => {
+                            *state = Value::Int(balance + args[0].as_int());
+                            Ok(vec![])
+                        }
+                        _ => Err("?".into()),
+                    }
+                },
+                |_| Value::Int(1000),
+            )
+            .orchestrator("transfer", |ctx| {
+                let from = ctx.input()[0].as_str().to_owned();
+                let to = ctx.input()[1].as_str().to_owned();
+                ctx.call_entity(EntityId::new("account", from), "debit", vec![Value::Int(1)])?
+                    .ok();
+                let r = ctx.call_entity(EntityId::new("account", to), "credit", vec![Value::Int(1)])?;
+                Some(r)
+            });
+        let mut sim = Sim::with_seed(seed);
+        let nodes = sim.add_nodes(2);
+        let shards = spawn_shards(&mut sim, &nodes, &app, 2);
+        let n_load = sim.add_node();
+        struct SfDriver {
+            shards: Vec<ProcessId>,
+            rpc: tca_messaging::rpc::RpcClient,
+            remaining: u64,
+        }
+        impl SfDriver {
+            fn issue(&mut self, ctx: &mut Ctx) {
+                if self.remaining == 0 {
+                    return;
+                }
+                self.remaining -= 1;
+                let i = self.remaining;
+                let instance = format!("t{i}");
+                let shard = self.shards[shard_for(&instance, self.shards.len())];
+                let from = i % 16;
+                let to = (i + 1) % 16;
+                self.rpc.call(
+                    ctx,
+                    shard,
+                    Payload::new(StartOrchestration {
+                        name: "transfer".into(),
+                        instance,
+                        input: vec![Value::Str(from.to_string()), Value::Str(to.to_string())],
+                    }),
+                    RetryPolicy::retrying(12, SimDuration::from_millis(30)),
+                    i,
+                );
+            }
+        }
+        impl Process for SfDriver {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                for _ in 0..8 {
+                    self.issue(ctx);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx, _f: ProcessId, payload: Payload) {
+                if let Some(tca_messaging::rpc::RpcEvent::Reply { .. }) =
+                    self.rpc.on_message(ctx, &payload)
+                {
+                    ctx.metrics().incr("e8c.ok", 1);
+                    self.issue(ctx);
+                }
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+                if let Some(Some(tca_messaging::rpc::RpcEvent::Failed { .. })) =
+                    self.rpc.on_timer(ctx, tag)
+                {
+                    ctx.metrics().incr("e8c.err", 1);
+                    self.issue(ctx);
+                }
+            }
+        }
+        let shard_list = shards.clone();
+        sim.spawn(n_load, "driver", move |_| {
+            Box::new(SfDriver {
+                shards: shard_list.clone(),
+                rpc: tca_messaging::rpc::RpcClient::new(),
+                remaining: 200,
+            })
+        });
+        sim.schedule_crash(SimTime::from_nanos(10_000_000), nodes[0]);
+        sim.schedule_restart(SimTime::from_nanos(30_000_000), nodes[0]);
+        sim.run_for(SimDuration::from_secs(30));
+        // Audit: sum of entity balances must equal 16 × 1000 across
+        // shards — every debit paired with its credit exactly once.
+        let mut sum = 0i64;
+        for account in 0..16u64 {
+            let id = EntityId::new("account", account.to_string());
+            for &shard in &shards {
+                if let Some(s) = sim.inspect::<tca_models::statefun::StatefunShard>(shard) {
+                    if let Some(Value::Int(v)) = s.entity_state(&id) {
+                        sum += v;
+                        break;
+                    }
+                } 
+            }
+            // Untouched accounts never materialize; they hold the initial
+            // 1000 implicitly.
+            let touched = shards.iter().any(|&shard| {
+                sim.inspect::<tca_models::statefun::StatefunShard>(shard)
+                    .and_then(|s| s.entity_state(&id))
+                    .is_some()
+            });
+            if !touched {
+                sum += 1000;
+            }
+        }
+        rows.push(
+            Row::new("statefun (replay+dedup)")
+                .col("ok", sim.metrics().counter("e8c.ok"))
+                .col("err", sim.metrics().counter("e8c.err"))
+                .col("balance drift", sum - 16_000)
+                .col("conserved", sum == 16_000),
+        );
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E9 — TPC-C mix
+// ---------------------------------------------------------------------------
+
+/// E9: TPC-C lite (NewOrder/Payment) throughput/latency, stored-procedure
+/// vs service-fronted deployments, with the consistency check.
+pub fn e9_tpcc(seed: u64) -> Vec<Row> {
+    let scale = tpcc::TpccScale::default();
+    let run = |via_service: bool| -> Row {
+        let mut sim = Sim::with_seed(seed);
+        let n_db = sim.add_node();
+        let n_svc = sim.add_node();
+        let n_load = sim.add_node();
+        let db = sim.spawn(
+            n_db,
+            "tpcc-db",
+            DbServer::factory("tpcc", DbServerConfig::default(), tpcc::registry()),
+        );
+        sim.inject(
+            db,
+            Payload::new(DbMsg {
+                token: 0,
+                req: DbRequest::Load {
+                    pairs: tpcc::seed(&scale),
+                },
+            }),
+        );
+        let target = if via_service {
+            let mut endpoints = std::collections::HashMap::new();
+            for proc in ["new_order", "payment"] {
+                let proc_name = proc.to_owned();
+                endpoints.insert(
+                    proc.to_owned(),
+                    Endpoint::new(
+                        vec![Step::Db {
+                            db,
+                            proc: proc_name,
+                            args: Rc::new(|v: &tca_models::microservice::Vars| {
+                                // Pass through all $i args in order.
+                                let mut args = Vec::new();
+                                let mut i = 0;
+                                while let Some(value) = v.try_get(&format!("${i}")) {
+                                    args.push(value.clone());
+                                    i += 1;
+                                }
+                                args
+                            }),
+                            bind: None,
+                        }],
+                        vec![],
+                    ),
+                );
+            }
+            sim.spawn(
+                n_svc,
+                "tpcc-svc",
+                Microservice::factory("tpcc", endpoints, ServiceConfig::default()),
+            )
+        } else {
+            db
+        };
+        let scale_for_gen = scale.clone();
+        let factory: RequestFactory = Rc::new(move |rng| {
+            let (proc, args) = tpcc::next_txn(rng, &scale_for_gen);
+            if via_service {
+                Payload::new(ServiceCall {
+                    endpoint: proc,
+                    args,
+                })
+            } else {
+                Payload::new(DbMsg {
+                    token: 0,
+                    req: DbRequest::Call { proc, args },
+                })
+            }
+        });
+        let classify: Rc<dyn Fn(&Payload) -> bool> = if via_service {
+            Rc::new(|payload: &Payload| {
+                payload
+                    .downcast_ref::<tca_models::microservice::ServiceReply>()
+                    .is_some_and(|r| r.result.is_ok())
+            })
+        } else {
+            db_classifier()
+        };
+        sim.spawn(
+            n_load,
+            "load",
+            ClosedLoopGen::factory(
+                target,
+                factory,
+                classify,
+                ClosedLoopConfig {
+                    clients: 16,
+                    limit: Some(1000),
+                    metric: "e9".into(),
+                    ..ClosedLoopConfig::default()
+                },
+            ),
+        );
+        sim.run_for(SimDuration::from_secs(30));
+        let consistent = {
+            let server = sim.inspect::<DbServer>(db).expect("db");
+            tpcc::check_consistency(|k| server.engine().peek(k), &scale).is_ok()
+        };
+        let hist = sim.metrics().histogram("e9.latency");
+        let label = if via_service {
+            "tpcc via microservice"
+        } else {
+            "tpcc stored-proc"
+        };
+        Row::new(label)
+            .col("ok", sim.metrics().counter("e9.ok"))
+            .col("err", sim.metrics().counter("e9.err"))
+            .col("tput/s", {
+                let done_us = sim.metrics().counter("e9.done_at_us");
+                let seconds = if done_us > 0 {
+                    done_us as f64 / 1e6
+                } else {
+                    sim.now().as_secs_f64()
+                };
+                format!("{:.0}", sim.metrics().counter("e9.ok") as f64 / seconds.max(1e-9))
+            })
+            .col(
+                "p50",
+                hist.map_or("-".into(), |h| ms(h.p50().as_nanos() as f64 / 1e6)),
+            )
+            .col("consistent", consistent)
+    };
+    vec![run(false), run(true)]
+}
+
+// ---------------------------------------------------------------------------
+// E10 — closed vs open loop
+// ---------------------------------------------------------------------------
+
+/// E10: latency under closed-loop vs open-loop arrivals approaching and
+/// beyond saturation.
+pub fn e10_closed_vs_open(seed: u64) -> Vec<Row> {
+    // Service: commit_latency 100µs → capacity ≈ 10k calls/s.
+    let registry = || {
+        ProcRegistry::new().with("work", |tx, _| {
+            let v = tx.get("x").map(|v| v.as_int()).unwrap_or(0);
+            tx.put("x", Value::Int(v + 1));
+            Ok(vec![])
+        })
+    };
+    let factory: RequestFactory = Rc::new(|_| {
+        Payload::new(DbMsg {
+            token: 0,
+            req: DbRequest::Call {
+                proc: "work".into(),
+                args: vec![],
+            },
+        })
+    });
+    let mut rows = Vec::new();
+    // Closed loop: N clients.
+    for clients in [4usize, 16, 64] {
+        let mut sim = Sim::with_seed(seed);
+        let n_db = sim.add_node();
+        let n_load = sim.add_node();
+        let db = sim.spawn(n_db, "db", DbServer::factory("db", DbServerConfig::default(), registry()));
+        sim.spawn(
+            n_load,
+            "load",
+            ClosedLoopGen::factory(
+                db,
+                Rc::clone(&factory),
+                db_classifier(),
+                ClosedLoopConfig {
+                    clients,
+                    metric: "e10".into(),
+                    ..ClosedLoopConfig::default()
+                },
+            ),
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        let hist = sim.metrics().histogram("e10.latency").expect("ran");
+        rows.push(
+            Row::new(format!("closed N={clients}"))
+                .col("tput/s", sim.metrics().counter("e10.ok"))
+                .col("p50", ms(hist.p50().as_nanos() as f64 / 1e6))
+                .col("p99", ms(hist.p99().as_nanos() as f64 / 1e6)),
+        );
+    }
+    // Open loop: λ sweep around capacity.
+    for (label, interarrival_us) in [("0.5x", 200u64), ("0.9x", 111), ("1.2x", 83)] {
+        let mut sim = Sim::with_seed(seed);
+        let n_db = sim.add_node();
+        let n_load = sim.add_node();
+        let db = sim.spawn(n_db, "db", DbServer::factory("db", DbServerConfig::default(), registry()));
+        sim.spawn(
+            n_load,
+            "load",
+            OpenLoopGen::factory(
+                db,
+                Rc::clone(&factory),
+                db_classifier(),
+                OpenLoopConfig {
+                    mean_interarrival: SimDuration::from_micros(interarrival_us),
+                    metric: "e10".into(),
+                    limit: None,
+                },
+            ),
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        let hist = sim.metrics().histogram("e10.latency").expect("ran");
+        rows.push(
+            Row::new(format!("open λ={label} capacity"))
+                .col("tput/s", sim.metrics().counter("e10.ok"))
+                .col("p50", ms(hist.p50().as_nanos() as f64 / 1e6))
+                .col("p99", ms(hist.p99().as_nanos() as f64 / 1e6)),
+        );
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E11 — isolation anomalies
+// ---------------------------------------------------------------------------
+
+/// E11: over-selling at RC vs SI vs Serializable (Online Marketplace
+/// stock-reservation pattern).
+pub fn e11_isolation_anomalies(seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for iso in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::Serializable,
+    ] {
+        let stock = 50i64;
+        let clients = 6;
+        let mut sim = Sim::with_seed(seed);
+        let n_db = sim.add_node();
+        let db = sim.spawn(
+            n_db,
+            "db",
+            DbServer::factory("db", DbServerConfig::default(), ProcRegistry::new()),
+        );
+        sim.inject(
+            db,
+            Payload::new(DbMsg {
+                token: 0,
+                req: DbRequest::Load {
+                    pairs: vec![("stock".into(), Value::Int(stock))],
+                },
+            }),
+        );
+        for i in 0..clients {
+            let node = sim.add_node();
+            sim.spawn(
+                node,
+                format!("client{i}"),
+                RmwClient::factory(RmwConfig {
+                    db,
+                    iso,
+                    key: "stock".into(),
+                    max_sales: 1000,
+                    metric: format!("e11c{i}"),
+                    pacing: SimDuration::ZERO,
+                }),
+            );
+        }
+        sim.run_for(SimDuration::from_secs(5));
+        let sold: u64 = (0..clients)
+            .map(|i| sim.metrics().counter(&format!("e11c{i}.sold")))
+            .sum();
+        let aborted: u64 = (0..clients)
+            .map(|i| sim.metrics().counter(&format!("e11c{i}.aborted")))
+            .sum();
+        rows.push(
+            Row::new(iso.to_string())
+                .col("stock", stock)
+                .col("sold", sold)
+                .col("oversold", (sold as i64 - stock).max(0))
+                .col("aborts", aborted),
+        );
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E12 — actor migration
+// ---------------------------------------------------------------------------
+
+/// E12: availability gap and rerouting when a silo hosting a hot actor
+/// crashes.
+pub fn e12_actor_migration(seed: u64) -> Vec<Row> {
+    use tca_models::actor::{
+        actor_state_registry, ActorCompletion, ActorId, ActorRouter, ActorSilo, Directory,
+        DirectoryConfig, SiloConfig,
+    };
+    struct HotCaller {
+        router: ActorRouter,
+        last_ok: SimTime,
+        max_gap: SimDuration,
+        next_tag: u64,
+    }
+    impl HotCaller {
+        fn issue(&mut self, ctx: &mut Ctx) {
+            self.next_tag += 1;
+            self.router.invoke(
+                ctx,
+                ActorId::new("account", "hot"),
+                "credit",
+                vec![Value::Int(1)],
+                self.next_tag,
+            );
+        }
+        fn absorb(&mut self, ctx: &mut Ctx, completions: Vec<ActorCompletion>) {
+            for completion in completions {
+                if completion.result.is_ok() {
+                    let gap = ctx.now().since(self.last_ok);
+                    if gap > self.max_gap {
+                        self.max_gap = gap;
+                        ctx.metrics().incr("e12.max_gap_us", 0);
+                    }
+                    self.last_ok = ctx.now();
+                    ctx.metrics().incr("e12.ok", 1);
+                } else {
+                    ctx.metrics().incr("e12.err", 1);
+                }
+                self.issue(ctx);
+            }
+        }
+    }
+    impl Process for HotCaller {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            self.last_ok = ctx.now();
+            self.issue(ctx);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx, _f: ProcessId, payload: Payload) {
+            let completions = self.router.on_message(ctx, &payload);
+            self.absorb(ctx, completions);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+            if let Some(completions) = self.router.on_timer(ctx, tag) {
+                self.absorb(ctx, completions);
+            }
+        }
+    }
+    let mut sim = Sim::with_seed(seed);
+    let nd = sim.add_node();
+    let ndb = sim.add_node();
+    let ns1 = sim.add_node();
+    let ns2 = sim.add_node();
+    let nc = sim.add_node();
+    let directory = sim.spawn(nd, "dir", Directory::factory(DirectoryConfig::default()));
+    let db = sim.spawn(
+        ndb,
+        "state-db",
+        DbServer::factory("statedb", DbServerConfig::default(), actor_state_registry()),
+    );
+    sim.spawn(
+        ns1,
+        "silo1",
+        ActorSilo::factory(
+            tca_txn::transactional_bank_registry(1000),
+            SiloConfig::persistent(directory, db),
+        ),
+    );
+    sim.spawn(
+        ns2,
+        "silo2",
+        ActorSilo::factory(
+            tca_txn::transactional_bank_registry(1000),
+            SiloConfig::persistent(directory, db),
+        ),
+    );
+    sim.spawn(nc, "caller", move |_| {
+        Box::new(HotCaller {
+            router: ActorRouter::new(directory),
+            last_ok: SimTime::ZERO,
+            max_gap: SimDuration::ZERO,
+            next_tag: 0,
+        })
+    });
+    // Crash both candidate silos one at a time; the actor migrates.
+    sim.schedule_crash(SimTime::from_nanos(200_000_000), ns1);
+    sim.schedule_restart(SimTime::from_nanos(400_000_000), ns1);
+    sim.schedule_crash(SimTime::from_nanos(600_000_000), ns2);
+    sim.schedule_restart(SimTime::from_nanos(800_000_000), ns2);
+    sim.run_for(SimDuration::from_secs(2));
+    vec![Row::new("hot actor under silo crashes")
+        .col("ok calls", sim.metrics().counter("e12.ok"))
+        .col("failed calls", sim.metrics().counter("e12.err"))
+        .col("reroutes", sim.metrics().counter("actor.rerouted"))
+        .col("silos declared dead", sim.metrics().counter("dir.silo_declared_dead"))]
+}
+
+// ---------------------------------------------------------------------------
+// E13 — idempotency dedup burden
+// ---------------------------------------------------------------------------
+
+/// E13: receiver dedup under increasing duplication rates.
+pub fn e13_dedup_burden(seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for dup in [0.0, 0.05, 0.10, 0.20] {
+        let mut sim = Sim::new(SimConfig {
+            seed,
+            network: NetworkConfig::lossy(0.0, dup),
+        });
+        let n0 = sim.add_node();
+        let n1 = sim.add_node();
+        let app = sim.spawn(n1, "counter", move |_| {
+            Box::new(CounterApp {
+                receiver: DedupReceiver::new(DeliveryGuarantee::ExactlyOnce, 1 << 16),
+            })
+        });
+        sim.spawn(n0, "producer", move |_| {
+            Box::new(CounterProducer {
+                dest: app,
+                sender: ReliableSender::new(
+                    DeliveryGuarantee::ExactlyOnce,
+                    SimDuration::from_millis(2),
+                    20,
+                ),
+                remaining: 1000,
+            })
+        });
+        sim.run_for(SimDuration::from_secs(5));
+        rows.push(
+            Row::new(format!("dup={:.0}%", dup * 100.0))
+                .col("sent", sim.metrics().counter("e2.sent"))
+                .col("applied", sim.metrics().counter("e2.applied"))
+                .col("deduped", sim.metrics().counter("recv.deduped"))
+                .col("net duplicated", sim.metrics().counter("net.duplicated")),
+        );
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E14 — entity locks vs none (write skew)
+// ---------------------------------------------------------------------------
+
+/// E14: the critical-section API — concurrent cross-entity invariants
+/// break without locks and hold with them.
+pub fn e14_entity_locks(seed: u64) -> Vec<Row> {
+    // Invariant: a + b ≥ 1500. Each "drain" orchestration reads both
+    // accounts and withdraws 300 from one iff the invariant survives.
+    // Two concurrent drains both see 1000+1000 and both withdraw without
+    // locks → a+b = 1400 < 1500 (write skew). With locks they serialize.
+    let app = |locked: bool| -> StatefunApp {
+        let base = StatefunApp::new().entity(
+            "account",
+            |state, op, args| {
+                let balance = state.as_int();
+                match op {
+                    "read" => Ok(vec![state.clone()]),
+                    "withdraw" => {
+                        *state = Value::Int(balance - args[0].as_int());
+                        Ok(vec![state.clone()])
+                    }
+                    _ => Err("?".into()),
+                }
+            },
+            |_| Value::Int(1000),
+        );
+        base.orchestrator("drain", move |ctx| {
+            let target = ctx.input()[0].as_str().to_owned();
+            let a = EntityId::new("account", "a");
+            let b = EntityId::new("account", "b");
+            if locked {
+                ctx.acquire_locks(vec![a.clone(), b.clone()])?;
+            }
+            let va = ctx.call_entity(a.clone(), "read", vec![])?.expect("read")[0].as_int();
+            let vb = ctx.call_entity(b.clone(), "read", vec![])?.expect("read")[0].as_int();
+            if va + vb - 300 < 1500 {
+                return Some(Err("would break invariant".into()));
+            }
+            let victim = if target == "a" { a } else { b };
+            let r = ctx.call_entity(victim, "withdraw", vec![Value::Int(300)])?;
+            Some(r)
+        })
+    };
+    let run = |locked: bool| -> Row {
+        let mut sim = Sim::with_seed(seed);
+        let nodes = sim.add_nodes(2);
+        let shards = spawn_shards(&mut sim, &nodes, &app(locked), 2);
+        let n_load = sim.add_node();
+        struct Launcher {
+            shards: Vec<ProcessId>,
+            rpc: tca_messaging::rpc::RpcClient,
+        }
+        impl Process for Launcher {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                for (i, target) in ["a", "b"].iter().enumerate() {
+                    let instance = format!("drain-{i}");
+                    let shard = self.shards[shard_for(&instance, self.shards.len())];
+                    self.rpc.call(
+                        ctx,
+                        shard,
+                        Payload::new(StartOrchestration {
+                            name: "drain".into(),
+                            instance,
+                            input: vec![Value::from(*target)],
+                        }),
+                        RetryPolicy::retrying(6, SimDuration::from_millis(50)),
+                        i as u64,
+                    );
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx, _f: ProcessId, payload: Payload) {
+                if let Some(tca_messaging::rpc::RpcEvent::Reply { body, .. }) =
+                    self.rpc.on_message(ctx, &payload)
+                {
+                    let result = body.expect::<tca_models::statefun::OrchestrationResult>();
+                    let metric = if result.result.is_ok() {
+                        "e14.ok"
+                    } else {
+                        "e14.rejected"
+                    };
+                    ctx.metrics().incr(metric, 1);
+                }
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+                let _ = self.rpc.on_timer(ctx, tag);
+            }
+        }
+        let shard_list = shards.clone();
+        sim.spawn(n_load, "launcher", move |_| {
+            Box::new(Launcher {
+                shards: shard_list.clone(),
+                rpc: tca_messaging::rpc::RpcClient::new(),
+            })
+        });
+        sim.run_for(SimDuration::from_secs(2));
+        let committed = sim.metrics().counter("e14.ok");
+        let rejected = sim.metrics().counter("e14.rejected");
+        // Invariant arithmetic: start 2000, each commit −300, floor 1500 ⇒
+        // at most 1 commit is legal.
+        let final_sum = 2000 - 300 * committed as i64;
+        Row::new(if locked { "with locks" } else { "without locks" })
+            .col("committed", committed)
+            .col("rejected", rejected)
+            .col("a+b", final_sum)
+            .col("invariant (≥1500)", final_sum >= 1500)
+    };
+    vec![run(false), run(true)]
+}
+
+// ---------------------------------------------------------------------------
+// E15 — causal consistency
+// ---------------------------------------------------------------------------
+
+/// E15: the post/notification inversion, with and without causal delivery.
+pub fn e15_causal(seed: u64) -> Vec<Row> {
+    // Pure-library experiment: messages from two "services" race over a
+    // reordering channel; the causal mailbox buffers the dependent one.
+    let mut rng = tca_sim::SimRng::new(seed);
+    let run = |causal: bool, rng: &mut tca_sim::SimRng| -> (u64, u64) {
+        let mut inversions = 0;
+        let mut delivered = 0;
+        for _ in 0..1000 {
+            let mut post_clock = VectorClock::new();
+            let post = CausalMessage {
+                sender: 0,
+                clock: post_clock.tick(0),
+                body: "post",
+            };
+            let mut notify_clock = VectorClock::new();
+            notify_clock.merge(&post.clock);
+            let notification = CausalMessage {
+                sender: 1,
+                clock: notify_clock.tick(1),
+                body: "notify",
+            };
+            // Network race: 40% of the time the notification wins.
+            let first_is_notification = rng.chance(0.4);
+            if causal {
+                let mut mailbox: CausalMailbox<&str> = CausalMailbox::new(9);
+                let (first, second) = if first_is_notification {
+                    (notification, post)
+                } else {
+                    (post, notification)
+                };
+                let mut seen_post = false;
+                for m in mailbox.offer(first).into_iter().chain(mailbox.offer(second)) {
+                    delivered += 1;
+                    if m.body == "post" {
+                        seen_post = true;
+                    } else if !seen_post {
+                        inversions += 1;
+                    }
+                }
+            } else {
+                delivered += 2;
+                if first_is_notification {
+                    inversions += 1;
+                }
+            }
+        }
+        (delivered, inversions)
+    };
+    let (d1, i1) = run(false, &mut rng);
+    let (d2, i2) = run(true, &mut rng);
+    vec![
+        Row::new("eventual (no causal)")
+            .col("delivered", d1)
+            .col("notify-before-post", i1),
+        Row::new("causal delivery")
+            .col("delivered", d2)
+            .col("notify-before-post", i2),
+    ]
+}

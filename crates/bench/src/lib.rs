@@ -1,0 +1,11 @@
+//! # `tca-bench` — experiment harness
+//!
+//! One function per experiment in `DESIGN.md` (F1, E1–E15), each
+//! deterministic given a seed, plus the `experiments` binary that prints
+//! them and the Criterion benches mirroring the hot paths.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+pub use experiments::{print_table, Row};

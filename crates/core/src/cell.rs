@@ -1,0 +1,868 @@
+//! Executable taxonomy cells: every {programming model × transaction
+//! mechanism} combination from Figure 1, deployed and driven with the
+//! same money-transfer micro-workload so the combinations are directly
+//! comparable. This powers experiment F1 (the figure regeneration) and
+//! the E1/E3/E7 performance comparisons.
+//!
+//! The workload: `accounts` accounts with initial balance 1000; clients
+//! repeatedly transfer 1 unit between two accounts (`hot_prob` biases the
+//! source to account 0, the contention knob). Conservation of money is
+//! the cross-cutting invariant.
+
+use std::rc::Rc;
+
+use tca_messaging::rpc::RetryPolicy;
+use tca_models::actor::{
+    actor_state_registry, ActorCompletion, ActorId, ActorRouter, ActorSilo, Directory,
+    DirectoryConfig, SiloConfig,
+};
+use tca_models::statefun::{
+    spawn_shards, shard_for, EntityId, StartOrchestration, StatefunApp,
+};
+use tca_sim::{Ctx, Payload, Process, ProcessId, Sim, SimDuration, SimRng};
+use tca_storage::{DbMsg, DbRequest, DbServer, DbServerConfig, ProcRegistry, Value};
+use tca_txn::deterministic::{deploy_deterministic, SequencerConfig, SubmitTxn, TxnOutcome};
+use tca_txn::saga::{SagaDef, SagaOrchestrator, SagaOutcome, SagaStep, StartSaga};
+use tca_txn::twopc::{
+    DtxOutcome, ParticipantConfig, StartDtx, TwoPcCoordinator, TwoPcParticipant,
+};
+use tca_txn::{transactional_bank_registry, transfer_plan};
+use tca_workloads::loadgen::{ClosedLoopConfig, ClosedLoopGen, RequestFactory, ResponseClassifier};
+
+use crate::taxonomy::{ProgrammingModel, TxnMechanism};
+
+/// Workload parameters for a cell run.
+#[derive(Debug, Clone)]
+pub struct CellParams {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of accounts.
+    pub accounts: u64,
+    /// Concurrent logical clients.
+    pub clients: usize,
+    /// Transfers to issue in total.
+    pub transfers: u64,
+    /// Probability a transfer debits account 0 (contention knob).
+    pub hot_prob: f64,
+    /// Virtual-time budget for the run.
+    pub budget: SimDuration,
+}
+
+impl Default for CellParams {
+    fn default() -> Self {
+        CellParams {
+            seed: 1,
+            accounts: 64,
+            clients: 8,
+            transfers: 400,
+            hot_prob: 0.0,
+            budget: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Result of one cell run.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Which cell ran.
+    pub label: String,
+    /// Transfers that committed.
+    pub committed: u64,
+    /// Transfers that failed/aborted.
+    pub failed: u64,
+    /// Virtual seconds consumed until quiescence (≤ budget).
+    pub sim_seconds: f64,
+    /// Committed transfers per virtual second.
+    pub throughput: f64,
+    /// Median client-observed latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Whether total money was conserved (None = not auditable here).
+    pub conserved: Option<bool>,
+}
+
+fn account_key(i: u64) -> String {
+    format!("acct/{i}")
+}
+
+fn pick_pair(rng: &mut SimRng, params: &CellParams) -> (u64, u64) {
+    let from = if rng.chance(params.hot_prob) {
+        0
+    } else {
+        rng.range(0, params.accounts)
+    };
+    let mut to = rng.range(0, params.accounts);
+    if to == from {
+        to = (to + 1) % params.accounts;
+    }
+    (from, to)
+}
+
+const INITIAL_BALANCE: i64 = 1000;
+
+fn finish_report(
+    label: &str,
+    sim: &Sim,
+    metric: &str,
+    conserved: Option<bool>,
+) -> CellReport {
+    let committed = sim.metrics().counter(&format!("{metric}.ok"));
+    let failed = sim.metrics().counter(&format!("{metric}.err"));
+    let done_at_us = sim.metrics().counter(&format!("{metric}.done_at_us"));
+    let sim_seconds = if done_at_us > 0 {
+        done_at_us as f64 / 1e6
+    } else {
+        sim.now().as_secs_f64()
+    }
+    .max(1e-9);
+    let (p50_ms, p99_ms) = sim
+        .metrics()
+        .histogram(&format!("{metric}.latency"))
+        .map(|h| {
+            (
+                h.p50().as_nanos() as f64 / 1e6,
+                h.p99().as_nanos() as f64 / 1e6,
+            )
+        })
+        .unwrap_or((0.0, 0.0));
+    CellReport {
+        label: label.to_owned(),
+        committed,
+        failed,
+        sim_seconds,
+        throughput: committed as f64 / sim_seconds,
+        p50_ms,
+        p99_ms,
+        conserved,
+    }
+}
+
+/// Run a taxonomy cell. Panics on unsupported combinations — use
+/// [`crate::taxonomy::profile`] to enumerate the supported mechanisms of
+/// a model.
+pub fn run_cell(model: ProgrammingModel, mechanism: TxnMechanism, params: &CellParams) -> CellReport {
+    match (model, mechanism) {
+        (ProgrammingModel::Microservices, TxnMechanism::Saga) => run_saga_cell(params),
+        (ProgrammingModel::Microservices, TxnMechanism::TwoPhaseCommit) => run_2pc_cell(params),
+        (ProgrammingModel::VirtualActors, TxnMechanism::None) => run_actor_cell(params, false),
+        (ProgrammingModel::VirtualActors, TxnMechanism::ActorTransactions) => {
+            run_actor_cell(params, true)
+        }
+        (ProgrammingModel::StatefulFunctions, TxnMechanism::EntityLocks) => {
+            run_statefun_cell(params, true)
+        }
+        (ProgrammingModel::StatefulFunctions, TxnMechanism::None) => {
+            run_statefun_cell(params, false)
+        }
+        (ProgrammingModel::StatefulDataflow, TxnMechanism::DeterministicOrdering) => {
+            run_deterministic_cell(params)
+        }
+        (model, mechanism) => panic!("unsupported cell {model} × {mechanism}"),
+    }
+}
+
+// --- microservices + saga --------------------------------------------------
+
+fn bank_registry() -> ProcRegistry {
+    ProcRegistry::new()
+        .with("debit", |tx, args| {
+            let key = args[0].as_str().to_owned();
+            let amount = args[1].as_int();
+            let balance = tx.get(&key).map(|v| v.as_int()).unwrap_or(0);
+            if balance < amount {
+                return Err("insufficient".into());
+            }
+            tx.put(&key, Value::Int(balance - amount));
+            Ok(vec![Value::Int(balance - amount)])
+        })
+        .with("credit", |tx, args| {
+            let key = args[0].as_str().to_owned();
+            let amount = args[1].as_int();
+            let balance = tx.get(&key).map(|v| v.as_int()).unwrap_or(0);
+            tx.put(&key, Value::Int(balance + amount));
+            Ok(vec![Value::Int(balance + amount)])
+        })
+}
+
+fn seed_accounts(sim: &mut Sim, db: ProcessId, params: &CellParams) {
+    let pairs: Vec<(String, Value)> = (0..params.accounts)
+        .map(|i| (account_key(i), Value::Int(INITIAL_BALANCE)))
+        .collect();
+    sim.inject(
+        db,
+        Payload::new(DbMsg {
+            token: 0,
+            req: DbRequest::Load { pairs },
+        }),
+    );
+}
+
+fn audit_db_sum(sim: &Sim, dbs: &[ProcessId], params: &CellParams) -> Option<bool> {
+    let mut sum = 0i64;
+    for &db in dbs {
+        let server = sim.inspect::<DbServer>(db)?;
+        for i in 0..params.accounts {
+            if let Some(Value::Int(v)) = server.engine().peek(&account_key(i)) {
+                sum += v;
+            }
+        }
+    }
+    // Accounts are split across the dbs (each db holds all keys it was
+    // seeded with); the expected total is accounts × initial per seeding
+    // site, handled by callers via this exact sum.
+    Some(sum == params.accounts as i64 * INITIAL_BALANCE)
+}
+
+fn run_saga_cell(params: &CellParams) -> CellReport {
+    let mut sim = Sim::with_seed(params.seed);
+    let n1 = sim.add_node();
+    let n2 = sim.add_node();
+    let n3 = sim.add_node();
+    // One database holds all accounts (debit/credit are still separate
+    // saga steps with compensation, as in a split deployment).
+    let db = sim.spawn(
+        n1,
+        "bank-db",
+        DbServer::factory("bank", DbServerConfig::default(), bank_registry()),
+    );
+    seed_accounts(&mut sim, db, params);
+    let saga = SagaDef {
+        name: "transfer".into(),
+        steps: vec![
+            SagaStep::new("debit", db, "debit", |v| {
+                vec![v.get("$0").clone(), v.get("$2").clone()]
+            })
+            .compensate("credit", |v| vec![v.get("$0").clone(), v.get("$2").clone()]),
+            SagaStep::new("credit", db, "credit", |v| {
+                vec![v.get("$1").clone(), v.get("$2").clone()]
+            }),
+        ],
+    };
+    let orchestrator = sim.spawn(n2, "saga", SagaOrchestrator::factory(vec![saga]));
+    let p = params.clone();
+    let factory: RequestFactory = Rc::new(move |rng| {
+        let (from, to) = pick_pair(rng, &p);
+        Payload::new(StartSaga {
+            saga: "transfer".into(),
+            args: vec![
+                Value::Str(account_key(from)),
+                Value::Str(account_key(to)),
+                Value::Int(1),
+            ],
+        })
+    });
+    let classify: ResponseClassifier = Rc::new(|payload| {
+        payload
+            .downcast_ref::<SagaOutcome>()
+            .is_some_and(|o| o.committed)
+    });
+    sim.spawn(
+        n3,
+        "load",
+        ClosedLoopGen::factory(
+            orchestrator,
+            factory,
+            classify,
+            ClosedLoopConfig {
+                clients: params.clients,
+                limit: Some(params.transfers),
+                metric: "cell".into(),
+                ..ClosedLoopConfig::default()
+            },
+        ),
+    );
+    sim.run_for(params.budget);
+    let conserved = audit_db_sum(&sim, &[db], params);
+    finish_report("microservices+saga", &sim, "cell", conserved)
+}
+
+// --- microservices + 2pc -----------------------------------------------------
+
+fn run_2pc_cell(params: &CellParams) -> CellReport {
+    let mut sim = Sim::with_seed(params.seed);
+    let n1 = sim.add_node();
+    let n2 = sim.add_node();
+    let n3 = sim.add_node();
+    let n4 = sim.add_node();
+    // Accounts split across two participants by parity.
+    let seed_for = |parity: u64, params: &CellParams| -> Vec<(String, Value)> {
+        (0..params.accounts)
+            .filter(|i| i % 2 == parity)
+            .map(|i| (account_key(i), Value::Int(INITIAL_BALANCE)))
+            .collect()
+    };
+    let pa = sim.spawn(
+        n1,
+        "bank-a",
+        TwoPcParticipant::factory_seeded(
+            "pa",
+            ParticipantConfig::default(),
+            bank_registry(),
+            seed_for(0, params),
+        ),
+    );
+    let pb = sim.spawn(
+        n2,
+        "bank-b",
+        TwoPcParticipant::factory_seeded(
+            "pb",
+            ParticipantConfig::default(),
+            bank_registry(),
+            seed_for(1, params),
+        ),
+    );
+    let coordinator = sim.spawn(n3, "coordinator", TwoPcCoordinator::factory());
+    let p = params.clone();
+    let factory: RequestFactory = Rc::new(move |rng| {
+        let (from, to) = pick_pair(rng, &p);
+        let part_of = |i: u64| if i % 2 == 0 { pa } else { pb };
+        Payload::new(StartDtx {
+            branches: vec![
+                (
+                    part_of(from),
+                    "debit".into(),
+                    vec![Value::Str(account_key(from)), Value::Int(1)],
+                ),
+                (
+                    part_of(to),
+                    "credit".into(),
+                    vec![Value::Str(account_key(to)), Value::Int(1)],
+                ),
+            ],
+        })
+    });
+    let classify: ResponseClassifier = Rc::new(|payload| {
+        payload
+            .downcast_ref::<DtxOutcome>()
+            .is_some_and(|o| o.committed)
+    });
+    sim.spawn(
+        n4,
+        "load",
+        ClosedLoopGen::factory(
+            coordinator,
+            factory,
+            classify,
+            ClosedLoopConfig {
+                clients: params.clients,
+                limit: Some(params.transfers),
+                metric: "cell".into(),
+                retry: RetryPolicy::at_most_once(SimDuration::from_secs(20)),
+                ..ClosedLoopConfig::default()
+            },
+        ),
+    );
+    sim.run_for(params.budget);
+    // 2PC participants seed lazily (default balance 100 in registry was
+    // for tests); here accounts start at 0 + credits − debits must sum
+    // to 0. Conservation audit: sum of balances == 0 net change is
+    // encoded as: debits == credits, which holds iff both branches
+    // committed together. Audit via participant engines.
+    let conserved = {
+        let sum = |pid: ProcessId| -> Option<i64> {
+            let participant = sim.inspect::<TwoPcParticipant>(pid)?;
+            let mut sum = 0;
+            for i in 0..params.accounts {
+                if let Some(Value::Int(v)) = participant.engine().peek(&account_key(i)) {
+                    sum += v;
+                }
+            }
+            Some(sum)
+        };
+        match (sum(pa), sum(pb)) {
+            (Some(a), Some(b)) => {
+                Some(a + b == params.accounts as i64 * INITIAL_BALANCE)
+            }
+            _ => None,
+        }
+    };
+    finish_report("microservices+2pc", &sim, "cell", conserved)
+}
+
+// --- actors ------------------------------------------------------------------
+
+/// Driver issuing transfers over actors: plain (debit;credit — no
+/// atomicity) or transactional (TxnCoordinator).
+struct ActorTransferDriver {
+    router: ActorRouter,
+    params: CellParams,
+    transactional: bool,
+    issued: u64,
+    outstanding: u64,
+    /// tag → (started, is_second_leg, from, to)
+    started: std::collections::HashMap<u64, (tca_sim::SimTime, bool, u64, u64)>,
+    next_tag: u64,
+}
+
+impl ActorTransferDriver {
+    fn issue(&mut self, ctx: &mut Ctx) {
+        while self.outstanding < self.params.clients as u64 && self.issued < self.params.transfers
+        {
+            self.issued += 1;
+            self.outstanding += 1;
+            self.next_tag += 1;
+            let tag = self.next_tag;
+            let (from, to) = pick_pair(ctx.rng(), &self.params);
+            self.started.insert(tag, (ctx.now(), false, from, to));
+            if self.transactional {
+                let txid = format!("tx{}", self.issued);
+                self.router.invoke(
+                    ctx,
+                    ActorId::new("txncoord", txid.clone()),
+                    "run",
+                    transfer_plan(&txid, &from.to_string(), &to.to_string(), 1),
+                    tag,
+                );
+            } else {
+                self.router.invoke(
+                    ctx,
+                    ActorId::new("account", from.to_string()),
+                    "debit",
+                    vec![Value::Int(1)],
+                    tag,
+                );
+            }
+        }
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx, tag: u64, ok: bool) {
+        let Some((start, second_leg, _from, to)) = self.started.remove(&tag) else {
+            return;
+        };
+        if !self.transactional && ok && !second_leg {
+            // Plain actors: fire the credit leg.
+            self.next_tag += 1;
+            let tag2 = self.next_tag;
+            self.started.insert(tag2, (start, true, 0, to));
+            self.router.invoke(
+                ctx,
+                ActorId::new("account", to.to_string()),
+                "credit",
+                vec![Value::Int(1)],
+                tag2,
+            );
+            return;
+        }
+        let elapsed = ctx.now().since(start);
+        ctx.metrics().record("cell.latency", elapsed);
+        let metric = if ok { "cell.ok" } else { "cell.err" };
+        ctx.metrics().incr(metric, 1);
+        self.outstanding -= 1;
+        self.issue(ctx);
+        if self.issued >= self.params.transfers && self.outstanding == 0 {
+            let done_us = ctx.now().as_nanos() / 1_000;
+            if ctx.metrics().counter("cell.done_at_us") == 0 {
+                ctx.metrics().incr("cell.done_at_us", done_us);
+            }
+        }
+    }
+
+    fn absorb(&mut self, ctx: &mut Ctx, completions: Vec<ActorCompletion>) {
+        for completion in completions {
+            let ok = completion.result.is_ok();
+            self.complete(ctx, completion.user_tag, ok);
+        }
+    }
+}
+
+impl Process for ActorTransferDriver {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.issue(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _from: ProcessId, payload: Payload) {
+        let completions = self.router.on_message(ctx, &payload);
+        self.absorb(ctx, completions);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+        if let Some(completions) = self.router.on_timer(ctx, tag) {
+            self.absorb(ctx, completions);
+        }
+    }
+}
+
+fn run_actor_cell(params: &CellParams, transactional: bool) -> CellReport {
+    let mut sim = Sim::with_seed(params.seed);
+    let nd = sim.add_node();
+    let ndb = sim.add_node();
+    let ns1 = sim.add_node();
+    let ns2 = sim.add_node();
+    let nc = sim.add_node();
+    let directory = sim.spawn(nd, "dir", Directory::factory(DirectoryConfig::default()));
+    let db = sim.spawn(
+        ndb,
+        "state-db",
+        DbServer::factory("statedb", DbServerConfig::default(), actor_state_registry()),
+    );
+    for (i, node) in [ns1, ns2].into_iter().enumerate() {
+        sim.spawn(
+            node,
+            format!("silo{i}"),
+            ActorSilo::factory(
+                transactional_bank_registry(INITIAL_BALANCE),
+                SiloConfig::persistent(directory, db),
+            ),
+        );
+    }
+    let p = params.clone();
+    sim.spawn(nc, "driver", move |_| {
+        Box::new(ActorTransferDriver {
+            router: ActorRouter::new(directory),
+            params: p.clone(),
+            transactional,
+            issued: 0,
+            outstanding: 0,
+            started: std::collections::HashMap::new(),
+            next_tag: 0,
+        })
+    });
+    sim.run_for(params.budget);
+    let label = if transactional {
+        "actors+txn"
+    } else {
+        "actors+none"
+    };
+    finish_report(label, &sim, "cell", None)
+}
+
+// --- stateful functions --------------------------------------------------------
+
+fn statefun_bank_app(locked: bool) -> StatefunApp {
+    let app = StatefunApp::new().entity(
+        "account",
+        |state, op, args| {
+            let balance = state.as_int();
+            match op {
+                "debit" => {
+                    let amount = args[0].as_int();
+                    if balance < amount {
+                        Err("insufficient".into())
+                    } else {
+                        *state = Value::Int(balance - amount);
+                        Ok(vec![state.clone()])
+                    }
+                }
+                "credit" => {
+                    *state = Value::Int(balance + args[0].as_int());
+                    Ok(vec![state.clone()])
+                }
+                "read" => Ok(vec![state.clone()]),
+                _ => Err(format!("unknown op {op}")),
+            }
+        },
+        |_| Value::Int(INITIAL_BALANCE),
+    );
+    if locked {
+        app.orchestrator("transfer", |ctx| {
+            let from = ctx.input()[0].as_str().to_owned();
+            let to = ctx.input()[1].as_str().to_owned();
+            let amount = ctx.input()[2].as_int();
+            let a = EntityId::new("account", from);
+            let b = EntityId::new("account", to);
+            ctx.acquire_locks(vec![a.clone(), b.clone()])?;
+            let debit = ctx.call_entity(a, "debit", vec![Value::Int(amount)])?;
+            if let Err(e) = debit {
+                return Some(Err(e));
+            }
+            let credit = ctx.call_entity(b, "credit", vec![Value::Int(amount)])?;
+            Some(credit)
+        })
+    } else {
+        app.orchestrator("transfer", |ctx| {
+            let from = ctx.input()[0].as_str().to_owned();
+            let to = ctx.input()[1].as_str().to_owned();
+            let amount = ctx.input()[2].as_int();
+            let debit = ctx.call_entity(
+                EntityId::new("account", from),
+                "debit",
+                vec![Value::Int(amount)],
+            )?;
+            if let Err(e) = debit {
+                return Some(Err(e));
+            }
+            let credit = ctx.call_entity(
+                EntityId::new("account", to),
+                "credit",
+                vec![Value::Int(amount)],
+            )?;
+            Some(credit)
+        })
+    }
+}
+
+/// Driver for statefun transfers (needs shard routing per instance key).
+struct StatefunDriver {
+    shards: Vec<ProcessId>,
+    rpc: tca_messaging::rpc::RpcClient,
+    params: CellParams,
+    issued: u64,
+    outstanding: u64,
+    started: std::collections::HashMap<u64, tca_sim::SimTime>,
+    next_tag: u64,
+}
+
+impl StatefunDriver {
+    fn issue(&mut self, ctx: &mut Ctx) {
+        while self.outstanding < self.params.clients as u64 && self.issued < self.params.transfers
+        {
+            self.issued += 1;
+            self.outstanding += 1;
+            self.next_tag += 1;
+            let tag = self.next_tag;
+            let (from, to) = pick_pair(ctx.rng(), &self.params);
+            let instance = format!("t{}", self.issued);
+            let shard = self.shards[shard_for(&instance, self.shards.len())];
+            self.started.insert(tag, ctx.now());
+            self.rpc.call(
+                ctx,
+                shard,
+                Payload::new(StartOrchestration {
+                    name: "transfer".into(),
+                    instance,
+                    input: vec![
+                        Value::Str(from.to_string()),
+                        Value::Str(to.to_string()),
+                        Value::Int(1),
+                    ],
+                }),
+                RetryPolicy::retrying(6, SimDuration::from_millis(50)),
+                tag,
+            );
+        }
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx, tag: u64, ok: bool) {
+        if let Some(start) = self.started.remove(&tag) {
+            let elapsed = ctx.now().since(start);
+            ctx.metrics().record("cell.latency", elapsed);
+        }
+        ctx.metrics()
+            .incr(if ok { "cell.ok" } else { "cell.err" }, 1);
+        self.outstanding -= 1;
+        self.issue(ctx);
+        if self.issued >= self.params.transfers && self.outstanding == 0 {
+            let done_us = ctx.now().as_nanos() / 1_000;
+            if ctx.metrics().counter("cell.done_at_us") == 0 {
+                ctx.metrics().incr("cell.done_at_us", done_us);
+            }
+        }
+    }
+}
+
+impl Process for StatefunDriver {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.issue(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _from: ProcessId, payload: Payload) {
+        if let Some(tca_messaging::rpc::RpcEvent::Reply { user_tag, body, .. }) =
+            self.rpc.on_message(ctx, &payload)
+        {
+            let ok = body
+                .downcast_ref::<tca_models::statefun::OrchestrationResult>()
+                .is_some_and(|r| r.result.is_ok());
+            self.complete(ctx, user_tag, ok);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+        if let Some(Some(tca_messaging::rpc::RpcEvent::Failed { user_tag, .. })) =
+            self.rpc.on_timer(ctx, tag)
+        {
+            self.complete(ctx, user_tag, false);
+        }
+    }
+}
+
+fn run_statefun_cell(params: &CellParams, locked: bool) -> CellReport {
+    let mut sim = Sim::with_seed(params.seed);
+    let nodes = sim.add_nodes(2);
+    let shards = spawn_shards(&mut sim, &nodes, &statefun_bank_app(locked), 2);
+    let nc = sim.add_node();
+    let p = params.clone();
+    sim.spawn(nc, "driver", move |_| {
+        Box::new(StatefunDriver {
+            shards: shards.clone(),
+            rpc: tca_messaging::rpc::RpcClient::new(),
+            params: p.clone(),
+            issued: 0,
+            outstanding: 0,
+            started: std::collections::HashMap::new(),
+            next_tag: 0,
+        })
+    });
+    sim.run_for(params.budget);
+    let label = if locked {
+        "statefun+locks"
+    } else {
+        "statefun+none"
+    };
+    finish_report(label, &sim, "cell", None)
+}
+
+// --- deterministic dataflow ------------------------------------------------------
+
+fn run_deterministic_cell(params: &CellParams) -> CellReport {
+    let mut sim = Sim::with_seed(params.seed);
+    let nodes = sim.add_nodes(3);
+    let registry = tca_txn::deterministic::transfer_registry();
+    let (sequencer, shards) = deploy_deterministic(
+        &mut sim,
+        &nodes,
+        &registry,
+        3,
+        SequencerConfig::default(),
+    );
+    let nc = sim.add_node();
+    let p = params.clone();
+    let factory: RequestFactory = Rc::new(move |rng| {
+        let (from, to) = pick_pair(rng, &p);
+        let from_key = account_key(from);
+        let to_key = account_key(to);
+        Payload::new(SubmitTxn {
+            proc: "transfer".into(),
+            args: vec![
+                Value::Str(from_key.clone()),
+                Value::Str(to_key.clone()),
+                Value::Int(1),
+            ],
+            read_keys: vec![from_key, to_key],
+        })
+    });
+    let classify: ResponseClassifier = Rc::new(|payload| {
+        payload
+            .downcast_ref::<TxnOutcome>()
+            .is_some_and(|o| o.result.is_ok())
+    });
+    sim.spawn(
+        nc,
+        "load",
+        ClosedLoopGen::factory(
+            sequencer,
+            factory,
+            classify,
+            ClosedLoopConfig {
+                clients: params.clients,
+                limit: Some(params.transfers),
+                metric: "cell".into(),
+                retry: RetryPolicy::at_most_once(SimDuration::from_secs(20)),
+                ..ClosedLoopConfig::default()
+            },
+        ),
+    );
+    sim.run_for(params.budget);
+    // Conservation audit across shard states (accounts default to 100 in
+    // transfer_registry when absent; count only materialized keys' net).
+    let conserved = {
+        let mut delta = 0i64;
+        let mut any = true;
+        for &shard in &shards {
+            match sim.inspect::<tca_txn::deterministic::DetShard>(shard) {
+                Some(s) => {
+                    for i in 0..params.accounts {
+                        if let Some(Value::Int(v)) = s.peek(&account_key(i)) {
+                            delta += v - 100; // registry default base
+                        }
+                    }
+                }
+                None => any = false,
+            }
+        }
+        if any {
+            Some(delta == 0)
+        } else {
+            None
+        }
+    };
+    finish_report("dataflow+deterministic", &sim, "cell", conserved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_params() -> CellParams {
+        CellParams {
+            transfers: 60,
+            clients: 4,
+            accounts: 32,
+            ..CellParams::default()
+        }
+    }
+
+    #[test]
+    fn saga_cell_conserves_money() {
+        let report = run_cell(
+            ProgrammingModel::Microservices,
+            TxnMechanism::Saga,
+            &quick_params(),
+        );
+        assert_eq!(report.committed + report.failed, 60);
+        assert!(report.committed > 0);
+        assert_eq!(report.conserved, Some(true));
+        assert!(report.throughput > 0.0);
+    }
+
+    #[test]
+    fn two_pc_cell_runs() {
+        let report = run_cell(
+            ProgrammingModel::Microservices,
+            TxnMechanism::TwoPhaseCommit,
+            &quick_params(),
+        );
+        assert!(report.committed > 0, "{report:?}");
+        assert_eq!(report.conserved, Some(true));
+    }
+
+    #[test]
+    fn actor_cells_run_and_txn_is_slower() {
+        let plain = run_cell(
+            ProgrammingModel::VirtualActors,
+            TxnMechanism::None,
+            &quick_params(),
+        );
+        let txn = run_cell(
+            ProgrammingModel::VirtualActors,
+            TxnMechanism::ActorTransactions,
+            &quick_params(),
+        );
+        assert!(plain.committed > 0);
+        assert!(txn.committed > 0);
+        // The paper's claim: transactions cost real throughput.
+        assert!(
+            txn.throughput < plain.throughput,
+            "txn {:.0}/s !< plain {:.0}/s",
+            txn.throughput,
+            plain.throughput
+        );
+    }
+
+    #[test]
+    fn statefun_cell_runs() {
+        let report = run_cell(
+            ProgrammingModel::StatefulFunctions,
+            TxnMechanism::EntityLocks,
+            &quick_params(),
+        );
+        assert!(report.committed > 0, "{report:?}");
+    }
+
+    #[test]
+    fn deterministic_cell_conserves() {
+        let report = run_cell(
+            ProgrammingModel::StatefulDataflow,
+            TxnMechanism::DeterministicOrdering,
+            &quick_params(),
+        );
+        assert!(report.committed > 0, "{report:?}");
+        assert_eq!(report.conserved, Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported cell")]
+    fn unsupported_cell_panics() {
+        run_cell(
+            ProgrammingModel::StatefulDataflow,
+            TxnMechanism::Saga,
+            &quick_params(),
+        );
+    }
+}

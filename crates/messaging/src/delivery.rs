@@ -1,0 +1,330 @@
+//! One-way command delivery with selectable guarantees.
+//!
+//! §3.2 "Relation of Messaging & State": a state mutation depends causally
+//! on a message's arrival, and the guarantee trio is
+//!
+//! - **at-most-once** — fire and forget; loss loses updates,
+//! - **at-least-once** — retry until acknowledged; retries duplicate
+//!   updates whenever only the ack was lost,
+//! - **exactly-once** — at-least-once *plus* receiver-side deduplication:
+//!   "the sender should be able to re-send messages … and, if a message is
+//!   received multiple times, the receiver should be able to deduplicate
+//!   them."
+//!
+//! [`ReliableSender`] implements the sender half, [`DedupReceiver`] the
+//! receiver half. Experiment E2 measures their cost and correctness.
+
+use std::collections::HashMap;
+
+use tca_sim::{Ctx, Payload, ProcessId, SimDuration};
+
+use crate::idempotency::{Dedup, IdempotencyStore};
+
+/// Timer namespace for sender retries.
+const SEND_TAG_BASE: u64 = 0x534e_0000_0000_0000;
+
+/// The delivery guarantee a sender/receiver pair provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryGuarantee {
+    /// Fire and forget.
+    AtMostOnce,
+    /// Retry until acknowledged; duplicates possible at the receiver.
+    AtLeastOnce,
+    /// Retry until acknowledged; receiver deduplicates.
+    ExactlyOnce,
+}
+
+impl std::fmt::Display for DeliveryGuarantee {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DeliveryGuarantee::AtMostOnce => "at-most-once",
+            DeliveryGuarantee::AtLeastOnce => "at-least-once",
+            DeliveryGuarantee::ExactlyOnce => "exactly-once",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A one-way application command, sequence-numbered per sender.
+#[derive(Debug, Clone)]
+pub struct Command {
+    /// Per-sender sequence number (doubles as the idempotency key).
+    pub seq: u64,
+    /// Application payload.
+    pub body: Payload,
+}
+
+/// Receiver's acknowledgement of a command.
+#[derive(Debug, Clone)]
+pub struct CommandAck {
+    /// The acknowledged sequence number.
+    pub seq: u64,
+}
+
+struct Outstanding {
+    dest: ProcessId,
+    body: Payload,
+    attempts_left: u32,
+}
+
+/// Sender half: embed in a process, forward `on_message`/`on_timer`.
+pub struct ReliableSender {
+    guarantee: DeliveryGuarantee,
+    retry_delay: SimDuration,
+    max_attempts: u32,
+    next_seq: u64,
+    unacked: HashMap<u64, Outstanding>,
+    given_up: u64,
+}
+
+impl ReliableSender {
+    /// Create a sender with the given guarantee and retry parameters.
+    /// (`retry_delay`/`max_attempts` are ignored for at-most-once.)
+    pub fn new(guarantee: DeliveryGuarantee, retry_delay: SimDuration, max_attempts: u32) -> Self {
+        assert!(max_attempts >= 1);
+        ReliableSender {
+            guarantee,
+            retry_delay,
+            max_attempts,
+            next_seq: 0,
+            unacked: HashMap::new(),
+            given_up: 0,
+        }
+    }
+
+    /// Send a command to `dest`; returns its sequence number.
+    pub fn send(&mut self, ctx: &mut Ctx, dest: ProcessId, body: Payload) -> u64 {
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        ctx.send(
+            dest,
+            Payload::new(Command {
+                seq,
+                body: body.clone(),
+            }),
+        );
+        if self.guarantee != DeliveryGuarantee::AtMostOnce {
+            self.unacked.insert(
+                seq,
+                Outstanding {
+                    dest,
+                    body,
+                    attempts_left: self.max_attempts - 1,
+                },
+            );
+            ctx.set_timer(self.retry_delay, SEND_TAG_BASE | seq);
+        }
+        seq
+    }
+
+    /// Offer an incoming message; returns `true` if it was an ack for us.
+    pub fn on_message(&mut self, _ctx: &mut Ctx, payload: &Payload) -> bool {
+        let Some(ack) = payload.downcast_ref::<CommandAck>() else {
+            return false;
+        };
+        self.unacked.remove(&ack.seq);
+        true
+    }
+
+    /// Offer a timer; returns `true` if it was a retry timer of ours.
+    pub fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) -> bool {
+        if tag & SEND_TAG_BASE != SEND_TAG_BASE {
+            return false;
+        }
+        let seq = tag & !SEND_TAG_BASE;
+        let Some(out) = self.unacked.get_mut(&seq) else {
+            return true; // already acked
+        };
+        if out.attempts_left == 0 {
+            self.unacked.remove(&seq);
+            self.given_up += 1;
+            ctx.metrics().incr("send.gave_up", 1);
+            return true;
+        }
+        out.attempts_left -= 1;
+        let (dest, body) = (out.dest, out.body.clone());
+        ctx.metrics().incr("send.retries", 1);
+        ctx.send(dest, Payload::new(Command { seq, body }));
+        ctx.set_timer(self.retry_delay, SEND_TAG_BASE | seq);
+        true
+    }
+
+    /// Commands not yet acknowledged.
+    pub fn unacked(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Commands abandoned after exhausting retries.
+    pub fn given_up(&self) -> u64 {
+        self.given_up
+    }
+}
+
+/// Receiver half: acks every command, tells the host whether to execute.
+pub struct DedupReceiver {
+    guarantee: DeliveryGuarantee,
+    store: IdempotencyStore,
+    duplicates_executed: u64,
+}
+
+impl DedupReceiver {
+    /// Create a receiver matching the sender's guarantee. `window` bounds
+    /// the dedup memory for exactly-once.
+    pub fn new(guarantee: DeliveryGuarantee, window: usize) -> Self {
+        DedupReceiver {
+            guarantee,
+            store: IdempotencyStore::new(window.max(1)),
+            duplicates_executed: 0,
+        }
+    }
+
+    /// Offer an incoming message. Returns `Some(body)` when the host
+    /// should execute the command's effect — acks are sent automatically.
+    pub fn accept(&mut self, ctx: &mut Ctx, from: ProcessId, payload: &Payload) -> Option<Payload> {
+        let command = payload.downcast_ref::<Command>()?;
+        ctx.send(from, Payload::new(CommandAck { seq: command.seq }));
+        match self.guarantee {
+            DeliveryGuarantee::ExactlyOnce => match self.store.check(from, command.seq) {
+                Dedup::Fresh => {
+                    self.store.record(from, command.seq, None);
+                    Some(command.body.clone())
+                }
+                Dedup::Duplicate(_) => {
+                    ctx.metrics().incr("recv.deduped", 1);
+                    None
+                }
+            },
+            DeliveryGuarantee::AtLeastOnce | DeliveryGuarantee::AtMostOnce => {
+                // No dedup: duplicates execute (and we count them for the
+                // correctness audit when the kernel duplicated them).
+                self.duplicates_executed += 1;
+                Some(command.body.clone())
+            }
+        }
+    }
+
+    /// Duplicate commands filtered out so far (exactly-once only).
+    pub fn deduped(&self) -> u64 {
+        self.store.duplicate_hits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tca_sim::{NetworkConfig, Process, Sim, SimConfig};
+
+    /// Applies received increments to a counter; the ground truth of how
+    /// many commands were *sent* lets tests assert loss/duplication.
+    struct CounterApp {
+        receiver: DedupReceiver,
+        count: u64,
+    }
+    impl Process for CounterApp {
+        fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, payload: Payload) {
+            if let Some(_body) = self.receiver.accept(ctx, from, &payload) {
+                self.count += 1;
+                ctx.metrics().incr("counter.applied", 1);
+            }
+        }
+    }
+
+    struct Producer {
+        dest: ProcessId,
+        sender: ReliableSender,
+        remaining: u32,
+    }
+    impl Process for Producer {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(SimDuration::from_micros(500), 1);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx, _from: ProcessId, payload: Payload) {
+            self.sender.on_message(ctx, &payload);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+            if self.sender.on_timer(ctx, tag) {
+                return;
+            }
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                self.sender.send(ctx, self.dest, Payload::new(1u64));
+                ctx.metrics().incr("producer.sent", 1);
+                ctx.set_timer(SimDuration::from_micros(500), 1);
+            }
+        }
+    }
+
+    fn run(guarantee: DeliveryGuarantee, net: NetworkConfig, n: u32) -> (u64, u64) {
+        let mut sim = Sim::new(SimConfig { seed: 21, network: net });
+        let n0 = sim.add_node();
+        let n1 = sim.add_node();
+        let app = sim.spawn(n1, "counter", move |_| {
+            Box::new(CounterApp {
+                receiver: DedupReceiver::new(guarantee, 4096),
+                count: 0,
+            })
+        });
+        sim.spawn(n0, "producer", move |_| {
+            Box::new(Producer {
+                dest: app,
+                sender: ReliableSender::new(guarantee, SimDuration::from_millis(2), 20),
+                remaining: n,
+            })
+        });
+        sim.run_for(SimDuration::from_secs(5));
+        (
+            sim.metrics().counter("producer.sent"),
+            sim.metrics().counter("counter.applied"),
+        )
+    }
+
+    #[test]
+    fn clean_network_all_guarantees_apply_exactly_n() {
+        for g in [
+            DeliveryGuarantee::AtMostOnce,
+            DeliveryGuarantee::AtLeastOnce,
+            DeliveryGuarantee::ExactlyOnce,
+        ] {
+            let (sent, applied) = run(g, NetworkConfig::default(), 50);
+            assert_eq!(sent, 50);
+            assert_eq!(applied, 50, "{g}");
+        }
+    }
+
+    #[test]
+    fn at_most_once_loses_updates_under_loss() {
+        let (sent, applied) = run(
+            DeliveryGuarantee::AtMostOnce,
+            NetworkConfig::lossy(0.3, 0.0),
+            100,
+        );
+        assert_eq!(sent, 100);
+        assert!(applied < 100, "loss must lose updates: applied={applied}");
+    }
+
+    #[test]
+    fn at_least_once_duplicates_under_loss() {
+        // With ack loss, retries re-execute: applied > sent.
+        let (sent, applied) = run(
+            DeliveryGuarantee::AtLeastOnce,
+            NetworkConfig::lossy(0.25, 0.0),
+            100,
+        );
+        assert_eq!(sent, 100);
+        assert!(
+            applied > sent,
+            "retries should duplicate effects: applied={applied}"
+        );
+    }
+
+    #[test]
+    fn exactly_once_is_exact_under_loss_and_duplication() {
+        let (sent, applied) = run(
+            DeliveryGuarantee::ExactlyOnce,
+            NetworkConfig::lossy(0.25, 0.1),
+            100,
+        );
+        assert_eq!(sent, 100);
+        assert_eq!(applied, 100, "dedup + retries = exactly once");
+    }
+}

@@ -1,0 +1,38 @@
+//! # `tca-messaging` — the messaging layer
+//!
+//! Everything §3.2 of the paper covers, built on the simulation substrate:
+//!
+//! - [`rpc`] — request/response with correlation ids, timeouts, retries
+//!   (REST/gRPC analogue; delivery guarantees are the application's job).
+//! - [`delivery`] — one-way commands under at-most-once / at-least-once /
+//!   exactly-once, the exactly-once variant composing retries with
+//!   receiver-side [`idempotency`] deduplication.
+//! - [`log`] + [`broker`] — a Kafka-style partitioned durable log with
+//!   consumer groups and committed offsets (at-least-once consumption).
+//! - [`queue`] — a RabbitMQ/SQS-style lease queue with visibility
+//!   timeouts, redelivery, and dead-lettering.
+//! - [`outbox`] — the transactional outbox pattern bridging the database
+//!   and the broker without a distributed commit.
+
+#![forbid(unsafe_code)]
+
+pub mod broker;
+pub mod delivery;
+pub mod idempotency;
+pub mod log;
+pub mod outbox;
+pub mod queue;
+pub mod rpc;
+
+pub use broker::{Broker, BrokerConfig, BrokerMsg, BrokerReply, BrokerRequest, BrokerResponse};
+pub use delivery::{Command, CommandAck, DedupReceiver, DeliveryGuarantee, ReliableSender};
+pub use idempotency::{Dedup, IdempotencyStore};
+pub use log::{Record, TopicStore};
+pub use outbox::{
+    outbox_put, register_outbox_procs, OutboxRelay, OutboxRelayConfig, OUTBOX_PREFIX,
+};
+pub use queue::{
+    Leased, QueueConfig, QueueMsg, QueueReply, QueueRequest, QueueResponse, QueueServer,
+    QueueStore,
+};
+pub use rpc::{reply_to, CallId, RetryPolicy, RpcClient, RpcEvent, RpcReply, RpcRequest};

@@ -1,0 +1,372 @@
+//! Request/response RPC over the simulated network.
+//!
+//! §3.2: "HTTP-based protocols are typically stateless and cannot provide
+//! guarantees of message delivery. Thus, applications requiring message
+//! delivery guarantees must ensure these at the application level." This
+//! module is that application-level machinery: correlation ids, timeouts,
+//! and retry policies, embedded as an [`RpcClient`] in any process.
+//!
+//! Timer tags in `0x5250_0000_0000_0000..` are reserved for RPC; hosts
+//! forward their `on_timer` calls to [`RpcClient::on_timer`] first.
+
+use std::collections::HashMap;
+
+use tca_sim::{Ctx, Payload, ProcessId, SimDuration};
+
+pub use tca_sim::wire::{RpcReply, RpcRequest};
+
+/// Tag namespace for RPC-internal timers.
+const RPC_TAG_BASE: u64 = 0x5250_0000_0000_0000;
+
+/// How a call behaves under loss and delay.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = fire once, i.e. at-most-once).
+    pub max_attempts: u32,
+    /// Wait this long for a reply before retrying.
+    pub timeout: SimDuration,
+    /// Multiply the timeout by this per retry (exponential backoff).
+    pub backoff: f64,
+}
+
+impl RetryPolicy {
+    /// Single attempt: at-most-once semantics.
+    pub fn at_most_once(timeout: SimDuration) -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            timeout,
+            backoff: 1.0,
+        }
+    }
+
+    /// Retry until `max_attempts`: at-least-once semantics (the receiver
+    /// may observe duplicates when only the reply was lost).
+    pub fn retrying(max_attempts: u32, timeout: SimDuration) -> Self {
+        RetryPolicy {
+            max_attempts,
+            timeout,
+            backoff: 2.0,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::retrying(5, SimDuration::from_millis(5))
+    }
+}
+
+/// Identifies one logical call made through an [`RpcClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CallId(pub u64);
+
+/// Events an [`RpcClient`] surfaces to its host process.
+#[derive(Debug)]
+pub enum RpcEvent {
+    /// A reply arrived for this call.
+    Reply {
+        /// The call that completed.
+        call: CallId,
+        /// Host-chosen tag passed at `call` time.
+        user_tag: u64,
+        /// The reply payload.
+        body: Payload,
+    },
+    /// The call exhausted its attempts without a reply.
+    Failed {
+        /// The call that failed.
+        call: CallId,
+        /// Host-chosen tag.
+        user_tag: u64,
+    },
+}
+
+struct Pending {
+    dest: ProcessId,
+    body: Payload,
+    policy: RetryPolicy,
+    attempts_left: u32,
+    current_timeout: SimDuration,
+    user_tag: u64,
+    wire_id: u64,
+}
+
+/// Client-side RPC state machine, embedded in a host process.
+///
+/// Wire call ids are drawn from a per-incarnation random nonce: a process
+/// that crashes and restarts must NOT reuse its predecessor's ids, or
+/// receiver-side idempotency caches would replay stale replies to it.
+#[derive(Default)]
+pub struct RpcClient {
+    /// Local sequence (timer tags); small and per-incarnation.
+    next_seq: u64,
+    /// Random base for wire ids, drawn lazily from the sim RNG.
+    nonce: u64,
+    pending: HashMap<u64, Pending>,
+    /// wire id → local seq, for reply matching.
+    by_wire: HashMap<u64, u64>,
+}
+
+impl RpcClient {
+    /// Fresh client.
+    pub fn new() -> Self {
+        RpcClient::default()
+    }
+
+    /// Issue a call. `user_tag` is echoed in the resulting [`RpcEvent`] so
+    /// the host can route completions without extra maps.
+    pub fn call(
+        &mut self,
+        ctx: &mut Ctx,
+        dest: ProcessId,
+        body: Payload,
+        policy: RetryPolicy,
+        user_tag: u64,
+    ) -> CallId {
+        if self.nonce == 0 {
+            self.nonce = ctx.rng().next_u64().max(1);
+        }
+        let wire_id = self.nonce.wrapping_add(self.next_seq + 1);
+        self.call_with_id(ctx, dest, body, policy, user_tag, wire_id)
+    }
+
+    /// Like [`RpcClient::call`], but with a caller-chosen wire id. Use a
+    /// *deterministic* id (e.g. derived from a journaled step identity)
+    /// when a restarted caller must not re-execute a completed request:
+    /// the receiver's idempotency cache replays the recorded reply.
+    pub fn call_with_id(
+        &mut self,
+        ctx: &mut Ctx,
+        dest: ProcessId,
+        body: Payload,
+        policy: RetryPolicy,
+        user_tag: u64,
+        wire_id: u64,
+    ) -> CallId {
+        assert!(policy.max_attempts >= 1);
+        let _ = ctx;
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        ctx.send(
+            dest,
+            Payload::new(RpcRequest {
+                call_id: wire_id,
+                body: body.clone(),
+            }),
+        );
+        ctx.metrics().incr("rpc.calls", 1);
+        ctx.set_timer(policy.timeout, RPC_TAG_BASE | seq);
+        self.pending.insert(
+            seq,
+            Pending {
+                dest,
+                body,
+                policy,
+                attempts_left: policy.max_attempts - 1,
+                current_timeout: policy.timeout,
+                user_tag,
+                wire_id,
+            },
+        );
+        self.by_wire.insert(wire_id, seq);
+        CallId(wire_id)
+    }
+
+    /// Offer an incoming message. Returns the completion event if it was a
+    /// reply to one of our calls; `None` tells the host to handle it.
+    pub fn on_message(&mut self, _ctx: &mut Ctx, payload: &Payload) -> Option<RpcEvent> {
+        let reply = payload.downcast_ref::<RpcReply>()?;
+        let seq = self.by_wire.remove(&reply.call_id)?;
+        let pending = self.pending.remove(&seq)?;
+        Some(RpcEvent::Reply {
+            call: CallId(reply.call_id),
+            user_tag: pending.user_tag,
+            body: reply.body.clone(),
+        })
+    }
+
+    /// Offer a timer. Returns `Some` if it was an RPC timer (and possibly a
+    /// failure event); `None` tells the host the timer was its own.
+    pub fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) -> Option<Option<RpcEvent>> {
+        if tag & RPC_TAG_BASE != RPC_TAG_BASE {
+            return None;
+        }
+        let seq = tag & !RPC_TAG_BASE;
+        let Some(pending) = self.pending.get_mut(&seq) else {
+            // Reply already arrived; stale timeout.
+            return Some(None);
+        };
+        if pending.attempts_left == 0 {
+            let pending = self.pending.remove(&seq).expect("present");
+            self.by_wire.remove(&pending.wire_id);
+            ctx.metrics().incr("rpc.failures", 1);
+            return Some(Some(RpcEvent::Failed {
+                call: CallId(pending.wire_id),
+                user_tag: pending.user_tag,
+            }));
+        }
+        pending.attempts_left -= 1;
+        pending.current_timeout = pending.current_timeout.mul_f64(pending.policy.backoff);
+        let (dest, body, timeout, wire_id) = (
+            pending.dest,
+            pending.body.clone(),
+            pending.current_timeout,
+            pending.wire_id,
+        );
+        ctx.metrics().incr("rpc.retries", 1);
+        ctx.send(
+            dest,
+            Payload::new(RpcRequest {
+                call_id: wire_id,
+                body,
+            }),
+        );
+        ctx.set_timer(timeout, RPC_TAG_BASE | seq);
+        Some(None)
+    }
+
+    /// Number of calls still awaiting a reply.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Server-side helper: answer an [`RpcRequest`].
+pub fn reply_to(ctx: &mut Ctx, requester: ProcessId, request: &RpcRequest, body: Payload) {
+    ctx.send(
+        requester,
+        Payload::new(RpcReply {
+            call_id: request.call_id,
+            body,
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tca_sim::{NetworkConfig, Process, Sim, SimConfig};
+
+    /// Server that echoes the request body, optionally ignoring the first
+    /// `drop_first` requests (to exercise retries deterministically).
+    struct EchoServer {
+        drop_first: u32,
+    }
+    impl Process for EchoServer {
+        fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, payload: Payload) {
+            let req = payload.expect::<RpcRequest>();
+            if self.drop_first > 0 {
+                self.drop_first -= 1;
+                return;
+            }
+            ctx.metrics().incr("server.handled", 1);
+            reply_to(ctx, from, req, req.body.clone());
+        }
+    }
+
+    struct Caller {
+        server: ProcessId,
+        rpc: RpcClient,
+        policy: RetryPolicy,
+    }
+    impl Process for Caller {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            self.rpc
+                .call(ctx, self.server, Payload::new(7u64), self.policy, 99);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx, _from: ProcessId, payload: Payload) {
+            if let Some(RpcEvent::Reply { user_tag, body, .. }) = self.rpc.on_message(ctx, &payload)
+            {
+                assert_eq!(user_tag, 99);
+                assert_eq!(*body.expect::<u64>(), 7);
+                ctx.metrics().incr("caller.replies", 1);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+            if let Some(Some(RpcEvent::Failed { user_tag, .. })) = self.rpc.on_timer(ctx, tag) {
+                assert_eq!(user_tag, 99);
+                ctx.metrics().incr("caller.failures", 1);
+            }
+        }
+    }
+
+    fn world(policy: RetryPolicy, drop_first: u32, net: NetworkConfig) -> Sim {
+        let mut sim = Sim::new(SimConfig {
+            seed: 11,
+            network: net,
+        });
+        let n0 = sim.add_node();
+        let n1 = sim.add_node();
+        let server = sim.spawn(n1, "server", move |_| Box::new(EchoServer { drop_first }));
+        sim.spawn(n0, "caller", move |_| {
+            Box::new(Caller {
+                server,
+                rpc: RpcClient::new(),
+                policy,
+            })
+        });
+        sim
+    }
+
+    #[test]
+    fn clean_network_one_attempt_succeeds() {
+        let mut sim = world(
+            RetryPolicy::at_most_once(SimDuration::from_millis(5)),
+            0,
+            NetworkConfig::default(),
+        );
+        sim.run_for(SimDuration::from_millis(50));
+        assert_eq!(sim.metrics().counter("caller.replies"), 1);
+        assert_eq!(sim.metrics().counter("rpc.retries"), 0);
+    }
+
+    #[test]
+    fn at_most_once_gives_up_after_loss() {
+        let mut sim = world(
+            RetryPolicy::at_most_once(SimDuration::from_millis(5)),
+            1, // server ignores the only attempt
+            NetworkConfig::default(),
+        );
+        sim.run_for(SimDuration::from_millis(100));
+        assert_eq!(sim.metrics().counter("caller.replies"), 0);
+        assert_eq!(sim.metrics().counter("caller.failures"), 1);
+    }
+
+    #[test]
+    fn retries_recover_from_dropped_requests() {
+        let mut sim = world(
+            RetryPolicy::retrying(5, SimDuration::from_millis(5)),
+            2, // first two attempts ignored
+            NetworkConfig::default(),
+        );
+        sim.run_for(SimDuration::from_millis(200));
+        assert_eq!(sim.metrics().counter("caller.replies"), 1);
+        assert_eq!(sim.metrics().counter("rpc.retries"), 2);
+    }
+
+    #[test]
+    fn exhausted_retries_fail() {
+        let mut sim = world(
+            RetryPolicy::retrying(3, SimDuration::from_millis(5)),
+            99,
+            NetworkConfig::default(),
+        );
+        sim.run_for(SimDuration::from_millis(500));
+        assert_eq!(sim.metrics().counter("caller.failures"), 1);
+        assert_eq!(sim.metrics().counter("rpc.retries"), 2, "3 attempts = 2 retries");
+    }
+
+    #[test]
+    fn duplicate_requests_reach_server_when_reply_lost() {
+        // 30% drop: with 8 attempts the call almost surely completes, and
+        // the server very likely handled some retry duplicates.
+        let mut sim = world(
+            RetryPolicy::retrying(8, SimDuration::from_millis(5)),
+            0,
+            NetworkConfig::lossy(0.3, 0.0),
+        );
+        sim.run_for(SimDuration::from_secs(2));
+        let handled = sim.metrics().counter("server.handled");
+        assert!(handled >= 1, "call should eventually get through");
+    }
+}

@@ -1,0 +1,735 @@
+//! The microservice framework (§3.1 "Microservice Frameworks").
+//!
+//! A [`Microservice`] is a *stateless* process exposing named endpoints;
+//! all state lives in an external database (§3.3, §4.1: "fault tolerance
+//! in microservices is achieved by making the application logic stateless
+//! and leaving state handling to an external database"). An endpoint is a
+//! list of [`Step`]s — database stored-procedure calls, calls to other
+//! services, or local computation over a variable context — executed as an
+//! interruption-free state machine per request. Crash a service node and
+//! restart it: in-flight requests die (clients retry), but no state is
+//! lost because the service had none.
+//!
+//! There is **no transactional guarantee across steps**: a request that
+//! fails at step 3 leaves steps 1–2 committed. That gap is precisely what
+//! the saga/2PC machinery in `tca-txn` exists to close, and what
+//! experiment E8 measures.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration};
+use tca_storage::{DbMsg, DbReply, DbRequest, DbResponse, Value};
+
+use tca_messaging::rpc::{reply_to, RpcClient, RpcEvent, RpcRequest, RetryPolicy};
+use tca_messaging::idempotency::{Dedup, IdempotencyStore};
+
+/// A call to a service endpoint (the body of an [`RpcRequest`]).
+#[derive(Debug, Clone)]
+pub struct ServiceCall {
+    /// Endpoint name.
+    pub endpoint: String,
+    /// Arguments.
+    pub args: Vec<Value>,
+}
+
+/// A service's answer (the body of an `RpcReply`).
+#[derive(Debug, Clone)]
+pub struct ServiceReply {
+    /// Endpoint results, or the error that stopped the workflow.
+    pub result: Result<Vec<Value>, String>,
+}
+
+/// Variable context threaded through a request's steps.
+#[derive(Debug, Default, Clone)]
+pub struct Vars {
+    map: HashMap<String, Value>,
+}
+
+impl Vars {
+    /// Create a context binding `args` to `$0`, `$1`, ….
+    pub fn from_args(args: &[Value]) -> Self {
+        let mut vars = Vars::default();
+        for (i, arg) in args.iter().enumerate() {
+            vars.map.insert(format!("${i}"), arg.clone());
+        }
+        vars
+    }
+
+    /// Bind a variable.
+    pub fn set(&mut self, name: &str, value: Value) {
+        self.map.insert(name.to_owned(), value);
+    }
+
+    /// Read a variable; panics if unbound (a workflow authoring error).
+    pub fn get(&self, name: &str) -> &Value {
+        self.map
+            .get(name)
+            .unwrap_or_else(|| panic!("unbound workflow variable `{name}`"))
+    }
+
+    /// Read a variable if bound.
+    pub fn try_get(&self, name: &str) -> Option<&Value> {
+        self.map.get(name)
+    }
+}
+
+/// Argument builder: computes a step's arguments from the context.
+pub type ArgsFn = Rc<dyn Fn(&Vars) -> Vec<Value>>;
+
+/// Local computation over the context; `Err` fails the request.
+pub type ComputeFn = Rc<dyn Fn(&mut Vars) -> Result<(), String>>;
+
+/// One step of an endpoint workflow.
+#[derive(Clone)]
+pub enum Step {
+    /// Invoke a stored procedure on a database server.
+    Db {
+        /// The database process.
+        db: ProcessId,
+        /// Stored procedure name.
+        proc: String,
+        /// Argument builder.
+        args: ArgsFn,
+        /// Bind `result\[0\]` to this variable on success.
+        bind: Option<&'static str>,
+    },
+    /// Call another service's endpoint.
+    Invoke {
+        /// The downstream service.
+        service: ProcessId,
+        /// Its endpoint.
+        endpoint: String,
+        /// Argument builder.
+        args: ArgsFn,
+        /// Bind `result\[0\]` to this variable on success.
+        bind: Option<&'static str>,
+    },
+    /// Pure local computation.
+    Compute(ComputeFn),
+}
+
+impl Step {
+    /// Convenience constructor for a [`Step::Db`] step.
+    pub fn db(
+        db: ProcessId,
+        proc: &str,
+        args: impl Fn(&Vars) -> Vec<Value> + 'static,
+        bind: Option<&'static str>,
+    ) -> Self {
+        Step::Db {
+            db,
+            proc: proc.to_owned(),
+            args: Rc::new(args),
+            bind,
+        }
+    }
+
+    /// Convenience constructor for a [`Step::Invoke`] step.
+    pub fn invoke(
+        service: ProcessId,
+        endpoint: &str,
+        args: impl Fn(&Vars) -> Vec<Value> + 'static,
+        bind: Option<&'static str>,
+    ) -> Self {
+        Step::Invoke {
+            service,
+            endpoint: endpoint.to_owned(),
+            args: Rc::new(args),
+            bind,
+        }
+    }
+
+    /// Convenience constructor for a [`Step::Compute`] step.
+    pub fn compute(f: impl Fn(&mut Vars) -> Result<(), String> + 'static) -> Self {
+        Step::Compute(Rc::new(f))
+    }
+}
+
+/// An endpoint: an ordered list of steps plus the result expression.
+#[derive(Clone)]
+pub struct Endpoint {
+    steps: Vec<Step>,
+    /// Variables whose values form the reply (missing ⇒ empty reply).
+    result_vars: Vec<&'static str>,
+}
+
+impl Endpoint {
+    /// An endpoint running `steps` and replying with the listed variables.
+    pub fn new(steps: Vec<Step>, result_vars: Vec<&'static str>) -> Self {
+        Endpoint { steps, result_vars }
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Retry policy for downstream calls (DB and service-to-service).
+    pub downstream_retry: RetryPolicy,
+    /// Deduplicate incoming requests by rpc call id (idempotent receiver).
+    pub dedup_requests: bool,
+    /// Dedup window size.
+    pub dedup_window: usize,
+    /// Simulated handler compute time charged before the first step.
+    pub handler_latency: SimDuration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            downstream_retry: RetryPolicy::retrying(5, SimDuration::from_millis(10)),
+            dedup_requests: false,
+            dedup_window: 65_536,
+            handler_latency: SimDuration::from_micros(10),
+        }
+    }
+}
+
+struct Invocation {
+    vars: Vars,
+    endpoint: String,
+    step: usize,
+    requester: ProcessId,
+    request: RpcRequest,
+}
+
+/// The microservice process.
+pub struct Microservice {
+    name: String,
+    endpoints: Rc<HashMap<String, Endpoint>>,
+    config: ServiceConfig,
+    rpc: RpcClient,
+    /// In-flight requests keyed by a local invocation id (= rpc user_tag).
+    active: HashMap<u64, Invocation>,
+    next_invocation: u64,
+    /// Tokens for DB calls: token → invocation id.
+    dedup: IdempotencyStore,
+}
+
+impl Microservice {
+    /// Build a process factory for this service.
+    pub fn factory(
+        name: impl Into<String>,
+        endpoints: HashMap<String, Endpoint>,
+        config: ServiceConfig,
+    ) -> impl FnMut(&mut Boot) -> Box<dyn Process> {
+        let name = name.into();
+        let endpoints = Rc::new(endpoints);
+        move |_| {
+            Box::new(Microservice {
+                name: name.clone(),
+                endpoints: Rc::clone(&endpoints),
+                config: config.clone(),
+                rpc: RpcClient::new(),
+                active: HashMap::new(),
+                next_invocation: 0,
+                dedup: IdempotencyStore::new(config.dedup_window),
+            })
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx, inv_id: u64, result: Result<Vec<Value>, String>) {
+        let Some(inv) = self.active.remove(&inv_id) else {
+            return;
+        };
+        let ok = result.is_ok();
+        let reply = Payload::new(ServiceReply { result });
+        if self.config.dedup_requests {
+            self.dedup
+                .record(inv.requester, inv.request.call_id, Some(reply.clone()));
+        }
+        reply_to(ctx, inv.requester, &inv.request, reply);
+        let metric = if ok { "ok" } else { "err" };
+        ctx.metrics()
+            .incr(&format!("svc.{}.{}.{metric}", self.name, inv.endpoint), 1);
+    }
+
+    /// Run steps from the invocation's cursor until parking on a
+    /// downstream call or finishing.
+    fn advance(&mut self, ctx: &mut Ctx, inv_id: u64) {
+        loop {
+            let Some(inv) = self.active.get_mut(&inv_id) else {
+                return;
+            };
+            let endpoint = self
+                .endpoints
+                .get(&inv.endpoint)
+                .expect("endpoint vanished")
+                .clone();
+            if inv.step >= endpoint.steps.len() {
+                let inv = self.active.get(&inv_id).expect("present");
+                let results = endpoint
+                    .result_vars
+                    .iter()
+                    .filter_map(|v| inv.vars.try_get(v).cloned())
+                    .collect();
+                self.finish(ctx, inv_id, Ok(results));
+                return;
+            }
+            let step = endpoint.steps[inv.step].clone();
+            inv.step += 1;
+            match step {
+                Step::Compute(f) => {
+                    if let Err(e) = f(&mut inv.vars) {
+                        self.finish(ctx, inv_id, Err(e));
+                        return;
+                    }
+                    // fall through: loop to next step
+                }
+                Step::Db { db, proc, args, bind } => {
+                    let args = args(&inv.vars);
+                    let body = Payload::new(DbMsg {
+                        token: bind_token(bind),
+                        req: DbRequest::Call { proc, args },
+                    });
+                    self.rpc
+                        .call(ctx, db, body, self.config.downstream_retry, inv_id);
+                    return; // parked until the reply
+                }
+                Step::Invoke {
+                    service,
+                    endpoint,
+                    args,
+                    bind,
+                } => {
+                    let args = args(&inv.vars);
+                    let body = Payload::new(ServiceCall { endpoint, args });
+                    // Stash the bind target in the invocation (only one
+                    // outstanding call at a time, so a single slot works).
+                    inv.vars
+                        .set("__bind", Value::Str(bind.unwrap_or("").to_owned()));
+                    self.rpc
+                        .call(ctx, service, body, self.config.downstream_retry, inv_id);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn handle_completion(&mut self, ctx: &mut Ctx, inv_id: u64, body: Option<Payload>) {
+        let Some(inv) = self.active.get_mut(&inv_id) else {
+            return;
+        };
+        let Some(body) = body else {
+            self.finish(ctx, inv_id, Err("downstream call failed".into()));
+            return;
+        };
+        // A DB reply or a nested service reply.
+        if let Some(db_reply) = body.downcast_ref::<DbReply>() {
+            match &db_reply.resp {
+                DbResponse::CallOk { results } => {
+                    if let Some(bind) = token_bind(db_reply.token) {
+                        let value = results.first().cloned().unwrap_or(Value::Null);
+                        inv.vars.set(bind, value);
+                    }
+                    self.advance(ctx, inv_id);
+                }
+                DbResponse::CallFailed { error } => {
+                    let error = error.clone();
+                    self.finish(ctx, inv_id, Err(error));
+                }
+                DbResponse::Aborted { reason } => {
+                    let reason = *reason;
+                    self.finish(ctx, inv_id, Err(format!("db abort: {reason}")));
+                }
+                other => {
+                    let msg = format!("unexpected db response {other:?}");
+                    self.finish(ctx, inv_id, Err(msg));
+                }
+            }
+        } else if let Some(svc_reply) = body.downcast_ref::<ServiceReply>() {
+            match &svc_reply.result {
+                Ok(values) => {
+                    let bind = match inv.vars.try_get("__bind") {
+                        Some(Value::Str(s)) if !s.is_empty() => Some(s.clone()),
+                        _ => None,
+                    };
+                    if let Some(bind) = bind {
+                        let value = values.first().cloned().unwrap_or(Value::Null);
+                        inv.vars.set(&bind, value);
+                    }
+                    self.advance(ctx, inv_id);
+                }
+                Err(e) => {
+                    let e = e.clone();
+                    self.finish(ctx, inv_id, Err(e));
+                }
+            }
+        } else {
+            self.finish(ctx, inv_id, Err("unexpected downstream payload".into()));
+        }
+    }
+}
+
+/// Encode an optional bind target into a DB token (static strs only; the
+/// token space doubles as a tiny interning table).
+fn bind_token(bind: Option<&'static str>) -> u64 {
+    match bind {
+        None => 0,
+        Some(s) => {
+            // Stable FNV-1a over the name, never 0.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in s.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            BIND_NAMES.with(|names| names.borrow_mut().insert(h, s));
+            h.max(1)
+        }
+    }
+}
+
+fn token_bind(token: u64) -> Option<&'static str> {
+    if token == 0 {
+        return None;
+    }
+    BIND_NAMES.with(|names| names.borrow().get(&token).copied())
+}
+
+thread_local! {
+    static BIND_NAMES: std::cell::RefCell<HashMap<u64, &'static str>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+impl Process for Microservice {
+    fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, payload: Payload) {
+        // Downstream completions first.
+        if let Some(event) = self.rpc.on_message(ctx, &payload) {
+            match event {
+                RpcEvent::Reply { user_tag, body, .. } => {
+                    self.handle_completion(ctx, user_tag, Some(body));
+                }
+                RpcEvent::Failed { user_tag, .. } => {
+                    self.handle_completion(ctx, user_tag, None);
+                }
+            }
+            return;
+        }
+        // New incoming request.
+        let Some(request) = payload.downcast_ref::<RpcRequest>() else {
+            return;
+        };
+        let Some(call) = request.body.downcast_ref::<ServiceCall>() else {
+            return;
+        };
+        if self.config.dedup_requests {
+            if let Dedup::Duplicate(cached) = self.dedup.check(from, request.call_id) {
+                if let Some(reply) = cached {
+                    reply_to(ctx, from, request, reply);
+                }
+                ctx.metrics().incr(&format!("svc.{}.deduped", self.name), 1);
+                return;
+            }
+        }
+        if !self.endpoints.contains_key(&call.endpoint) {
+            reply_to(
+                ctx,
+                from,
+                request,
+                Payload::new(ServiceReply {
+                    result: Err(format!("unknown endpoint `{}`", call.endpoint)),
+                }),
+            );
+            return;
+        }
+        self.next_invocation += 1;
+        let inv_id = self.next_invocation;
+        self.active.insert(
+            inv_id,
+            Invocation {
+                vars: Vars::from_args(&call.args),
+                endpoint: call.endpoint.clone(),
+                step: 0,
+                requester: from,
+                request: request.clone(),
+            },
+        );
+        self.advance(ctx, inv_id);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+        if let Some(Some(event)) = self.rpc.on_timer(ctx, tag) {
+            match event {
+                RpcEvent::Reply { user_tag, body, .. } => {
+                    self.handle_completion(ctx, user_tag, Some(body));
+                }
+                RpcEvent::Failed { user_tag, .. } => {
+                    self.handle_completion(ctx, user_tag, None);
+                }
+            }
+        }
+    }
+}
+
+/// Client helper: a process that issues service calls and collects
+/// latencies — the "edge" of the system. Used by tests and workloads.
+pub struct ServiceClient {
+    target: ProcessId,
+    rpc: RpcClient,
+    policy: RetryPolicy,
+    plan: Vec<ServiceCall>,
+    issued: usize,
+    metric: String,
+    started: HashMap<u64, tca_sim::SimTime>,
+}
+
+impl ServiceClient {
+    /// A client that fires the calls in `plan` sequentially (next call
+    /// issued when the previous completes), recording latencies under
+    /// `<metric>.latency` and outcomes under `<metric>.ok/err`.
+    pub fn sequential(
+        target: ProcessId,
+        plan: Vec<ServiceCall>,
+        metric: impl Into<String>,
+    ) -> impl FnMut(&mut Boot) -> Box<dyn Process> {
+        let metric = metric.into();
+        move |_| {
+            Box::new(ServiceClient {
+                target,
+                rpc: RpcClient::new(),
+                policy: RetryPolicy::retrying(8, SimDuration::from_millis(20)),
+                plan: plan.clone(),
+                issued: 0,
+                metric: metric.clone(),
+                started: HashMap::new(),
+            })
+        }
+    }
+
+    fn fire_next(&mut self, ctx: &mut Ctx) {
+        if self.issued >= self.plan.len() {
+            return;
+        }
+        let call = self.plan[self.issued].clone();
+        self.issued += 1;
+        let tag = self.issued as u64;
+        self.started.insert(tag, ctx.now());
+        self.rpc
+            .call(ctx, self.target, Payload::new(call), self.policy, tag);
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx, tag: u64, ok: bool) {
+        if let Some(start) = self.started.remove(&tag) {
+            let elapsed = ctx.now().since(start);
+            ctx.metrics().record(&format!("{}.latency", self.metric), elapsed);
+        }
+        let suffix = if ok { "ok" } else { "err" };
+        ctx.metrics().incr(&format!("{}.{suffix}", self.metric), 1);
+        self.fire_next(ctx);
+    }
+}
+
+impl Process for ServiceClient {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.fire_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, _from: ProcessId, payload: Payload) {
+        if let Some(event) = self.rpc.on_message(ctx, &payload) {
+            match event {
+                RpcEvent::Reply { user_tag, body, .. } => {
+                    let ok = body
+                        .downcast_ref::<ServiceReply>()
+                        .is_some_and(|r| r.result.is_ok());
+                    self.complete(ctx, user_tag, ok);
+                }
+                RpcEvent::Failed { user_tag, .. } => self.complete(ctx, user_tag, false),
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+        if let Some(Some(event)) = self.rpc.on_timer(ctx, tag) {
+            match event {
+                RpcEvent::Reply { user_tag, body, .. } => {
+                    let ok = body
+                        .downcast_ref::<ServiceReply>()
+                        .is_some_and(|r| r.result.is_ok());
+                    self.complete(ctx, user_tag, ok);
+                }
+                RpcEvent::Failed { user_tag, .. } => self.complete(ctx, user_tag, false),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tca_sim::Sim;
+    use tca_storage::{DbServer, DbServerConfig, ProcRegistry};
+
+    fn inventory_registry() -> ProcRegistry {
+        ProcRegistry::new()
+            .with("reserve", |tx, args| {
+                let item = args[0].as_int();
+                let key = format!("stock/{item}");
+                let qty = tx.get(&key).map(|v| v.as_int()).unwrap_or(0);
+                if qty <= 0 {
+                    return Err("out of stock".into());
+                }
+                tx.put(&key, Value::Int(qty - 1));
+                Ok(vec![Value::Int(qty - 1)])
+            })
+            .with("seed", |tx, args| {
+                let item = args[0].as_int();
+                let qty = args[1].as_int();
+                tx.put(&format!("stock/{item}"), Value::Int(qty));
+                Ok(vec![])
+            })
+    }
+
+    /// inventory-service(reserve) ← order-service(place) topology.
+    fn world() -> (Sim, ProcessId) {
+        let mut sim = Sim::with_seed(61);
+        let n_db = sim.add_node();
+        let n_inv = sim.add_node();
+        let n_ord = sim.add_node();
+        let db = sim.spawn(
+            n_db,
+            "inventory-db",
+            DbServer::factory("invdb", DbServerConfig::default(), inventory_registry()),
+        );
+        // Seed stock for item 1.
+        sim.inject(
+            db,
+            Payload::new(DbMsg {
+                token: 0,
+                req: DbRequest::Call {
+                    proc: "seed".into(),
+                    args: vec![Value::Int(1), Value::Int(3)],
+                },
+            }),
+        );
+        let mut inv_endpoints = HashMap::new();
+        inv_endpoints.insert(
+            "reserve".to_owned(),
+            Endpoint::new(
+                vec![Step::db(db, "reserve", |v| vec![v.get("$0").clone()], Some("left"))],
+                vec!["left"],
+            ),
+        );
+        let inventory = sim.spawn(
+            n_inv,
+            "inventory",
+            Microservice::factory("inventory", inv_endpoints, ServiceConfig::default()),
+        );
+        let mut ord_endpoints = HashMap::new();
+        ord_endpoints.insert(
+            "place".to_owned(),
+            Endpoint::new(
+                vec![
+                    Step::invoke(inventory, "reserve", |v| vec![v.get("$0").clone()], Some("left")),
+                    Step::compute(|vars| {
+                        let left = vars.get("left").as_int();
+                        vars.set("status", Value::Str(format!("placed, {left} left")));
+                        Ok(())
+                    }),
+                ],
+                vec!["status"],
+            ),
+        );
+        let orders = sim.spawn(
+            n_ord,
+            "orders",
+            Microservice::factory("orders", ord_endpoints, ServiceConfig::default()),
+        );
+        (sim, orders)
+    }
+
+    #[test]
+    fn cross_service_workflow_completes() {
+        let (mut sim, orders) = world();
+        let n_client = sim.add_node();
+        sim.spawn(
+            n_client,
+            "client",
+            ServiceClient::sequential(
+                orders,
+                vec![ServiceCall {
+                    endpoint: "place".into(),
+                    args: vec![Value::Int(1)],
+                }],
+                "client",
+            ),
+        );
+        sim.run_for(SimDuration::from_millis(100));
+        assert_eq!(sim.metrics().counter("client.ok"), 1);
+        assert_eq!(sim.metrics().counter("svc.orders.place.ok"), 1);
+        assert_eq!(sim.metrics().counter("svc.inventory.reserve.ok"), 1);
+    }
+
+    #[test]
+    fn stock_exhaustion_propagates_as_error() {
+        let (mut sim, orders) = world();
+        let n_client = sim.add_node();
+        let calls: Vec<ServiceCall> = (0..5)
+            .map(|_| ServiceCall {
+                endpoint: "place".into(),
+                args: vec![Value::Int(1)],
+            })
+            .collect();
+        sim.spawn(
+            n_client,
+            "client",
+            ServiceClient::sequential(orders, calls, "client"),
+        );
+        sim.run_for(SimDuration::from_millis(500));
+        // Seeded 3 units: 3 succeed, 2 fail.
+        assert_eq!(sim.metrics().counter("client.ok"), 3);
+        assert_eq!(sim.metrics().counter("client.err"), 2);
+    }
+
+    #[test]
+    fn unknown_endpoint_is_an_error_not_a_hang() {
+        let (mut sim, orders) = world();
+        let n_client = sim.add_node();
+        sim.spawn(
+            n_client,
+            "client",
+            ServiceClient::sequential(
+                orders,
+                vec![ServiceCall {
+                    endpoint: "nope".into(),
+                    args: vec![],
+                }],
+                "client",
+            ),
+        );
+        sim.run_for(SimDuration::from_millis(100));
+        assert_eq!(sim.metrics().counter("client.err"), 1);
+    }
+
+    #[test]
+    fn service_restart_loses_no_state_because_it_has_none() {
+        let (mut sim, orders) = world();
+        let n_client = sim.add_node();
+        let calls: Vec<ServiceCall> = (0..3)
+            .map(|_| ServiceCall {
+                endpoint: "place".into(),
+                args: vec![Value::Int(1)],
+            })
+            .collect();
+        sim.spawn(
+            n_client,
+            "client",
+            ServiceClient::sequential(orders, calls, "client"),
+        );
+        // Crash the order service mid-run; its statelessness + client
+        // retries mean all 3 orders still complete.
+        let orders_node = sim.node_of(orders);
+        sim.schedule_crash(tca_sim::SimTime::from_nanos(2_000_000), orders_node);
+        sim.schedule_restart(tca_sim::SimTime::from_nanos(10_000_000), orders_node);
+        sim.run_for(SimDuration::from_millis(500));
+        assert_eq!(sim.metrics().counter("client.ok"), 3);
+    }
+
+    #[test]
+    fn vars_bind_and_panic_semantics() {
+        let mut vars = Vars::from_args(&[Value::Int(5)]);
+        assert_eq!(vars.get("$0").as_int(), 5);
+        vars.set("x", Value::Bool(true));
+        assert!(vars.get("x").as_bool());
+        assert!(vars.try_get("missing").is_none());
+    }
+}

@@ -1,0 +1,864 @@
+//! The discrete-event simulation kernel.
+//!
+//! A [`Sim`] owns virtual time, the event queue, all nodes and processes,
+//! the network, the RNG, and the metrics registry. Execution is strictly
+//! deterministic: events are ordered by `(time, sequence-number)`, all
+//! randomness flows from one seeded generator, and handlers run one at a
+//! time to completion.
+//!
+//! Crash semantics: crashing a node drops the volatile state of every
+//! process on it and invalidates their timers; restarting re-runs each
+//! process factory against the surviving [`Disk`], then delivers
+//! `on_start`. In-flight messages to a crashed node are lost at delivery
+//! time — exactly the partial-failure model the paper's §4.1 discusses.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::metrics::Metrics;
+use crate::network::{Fate, Network, NetworkConfig};
+use crate::payload::Payload;
+use crate::proc::{Boot, Ctx, Disk, Effect, NodeId, Process, ProcessFactory, ProcessId, TimerId};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey {
+    time: SimTime,
+    seq: u64,
+}
+
+enum EventKind {
+    Start {
+        pid: ProcessId,
+        generation: u32,
+    },
+    Deliver {
+        to: ProcessId,
+        from: ProcessId,
+        payload: Payload,
+    },
+    Timer {
+        pid: ProcessId,
+        generation: u32,
+        id: TimerId,
+        tag: u64,
+    },
+    CrashNode(NodeId),
+    RestartNode(NodeId),
+    Partition {
+        left: Vec<NodeId>,
+        right: Vec<NodeId>,
+    },
+    HealPartitions,
+}
+
+struct Event {
+    key: EventKey,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+struct NodeState {
+    up: bool,
+}
+
+struct ProcSlot {
+    node: NodeId,
+    name: String,
+    factory: ProcessFactory,
+    state: Option<Box<dyn Process>>,
+    disk: Disk,
+    generation: u32,
+    started: bool,
+    halted: bool,
+}
+
+/// Configuration for constructing a [`Sim`].
+#[derive(Clone, Debug, Default)]
+pub struct SimConfig {
+    /// RNG seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// Network behaviour.
+    pub network: NetworkConfig,
+}
+
+impl SimConfig {
+    /// Config with the given seed and a default (reliable) network.
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// The simulation world.
+pub struct Sim {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event>>,
+    nodes: Vec<NodeState>,
+    procs: Vec<ProcSlot>,
+    rng: SimRng,
+    metrics: Metrics,
+    network: Network,
+    cancelled_timers: HashSet<TimerId>,
+    timer_seq: u64,
+    trace: Trace,
+    events_processed: u64,
+}
+
+impl Sim {
+    /// Build an empty simulation from a config.
+    pub fn new(config: SimConfig) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            procs: Vec::new(),
+            rng: SimRng::new(config.seed),
+            metrics: Metrics::new(),
+            network: Network::new(config.network),
+            cancelled_timers: HashSet::new(),
+            timer_seq: 0,
+            trace: Trace::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Shorthand: a simulation with the given seed and default network.
+    pub fn with_seed(seed: u64) -> Self {
+        Sim::new(SimConfig::with_seed(seed))
+    }
+
+    // ----- topology ------------------------------------------------------
+
+    /// Add a machine to the cluster. Nodes start up.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeState { up: true });
+        id
+    }
+
+    /// Add `n` machines, returning their ids.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Spawn a process on `node`. The factory is kept and re-invoked on
+    /// every restart after a crash; `on_start` is delivered as the next
+    /// event at the current time.
+    pub fn spawn(
+        &mut self,
+        node: NodeId,
+        name: impl Into<String>,
+        factory: impl FnMut(&mut Boot) -> Box<dyn Process> + 'static,
+    ) -> ProcessId {
+        assert!(
+            (node.0 as usize) < self.nodes.len(),
+            "spawn on unknown node {node}"
+        );
+        let pid = ProcessId(self.procs.len() as u32);
+        let mut slot = ProcSlot {
+            node,
+            name: name.into(),
+            factory: Box::new(factory),
+            state: None,
+            disk: Disk::new(),
+            generation: 0,
+            started: false,
+            halted: false,
+        };
+        let mut boot = Boot {
+            disk: &mut slot.disk,
+            pid,
+            node,
+            now: self.now,
+            restart: false,
+        };
+        let state = (slot.factory)(&mut boot);
+        slot.state = Some(state);
+        self.procs.push(slot);
+        let generation = 0;
+        self.push(
+            self.now,
+            EventKind::Start {
+                pid,
+                generation,
+            },
+        );
+        pid
+    }
+
+    /// The node a process lives on.
+    pub fn node_of(&self, pid: ProcessId) -> NodeId {
+        self.procs[pid.0 as usize].node
+    }
+
+    /// The name a process was spawned with.
+    pub fn name_of(&self, pid: ProcessId) -> &str {
+        &self.procs[pid.0 as usize].name
+    }
+
+    /// Whether the process is currently alive (node up, not crashed/halted).
+    pub fn is_alive(&self, pid: ProcessId) -> bool {
+        let slot = &self.procs[pid.0 as usize];
+        slot.state.is_some() && self.nodes[slot.node.0 as usize].up
+    }
+
+    // ----- time & execution ----------------------------------------------
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events executed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.key.time >= self.now, "time went backwards");
+        self.now = ev.key.time;
+        self.events_processed += 1;
+        self.dispatch(ev.kind);
+        true
+    }
+
+    /// Run until the queue is empty or virtual time would exceed `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.key.time > t {
+                break;
+            }
+            self.step();
+        }
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Run for `d` more virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let until = self.now + d;
+        self.run_until(until);
+    }
+
+    /// Run until no events remain (panics after `max_events` as a runaway
+    /// guard, since many protocols self-retrigger forever).
+    pub fn run_to_quiescence(&mut self, max_events: u64) {
+        let start = self.events_processed;
+        while self.step() {
+            assert!(
+                self.events_processed - start <= max_events,
+                "no quiescence after {max_events} events"
+            );
+        }
+    }
+
+    // ----- faults ----------------------------------------------------------
+
+    /// Crash `node` immediately: volatile process state is lost, timers die.
+    pub fn crash_node(&mut self, node: NodeId) {
+        self.apply_crash(node);
+    }
+
+    /// Restart `node` immediately: factories rebuild processes from disk.
+    pub fn restart_node(&mut self, node: NodeId) {
+        self.apply_restart(node);
+    }
+
+    /// Schedule a crash at absolute virtual time `t`.
+    pub fn schedule_crash(&mut self, t: SimTime, node: NodeId) {
+        self.push(t, EventKind::CrashNode(node));
+    }
+
+    /// Schedule a restart at absolute virtual time `t`.
+    pub fn schedule_restart(&mut self, t: SimTime, node: NodeId) {
+        self.push(t, EventKind::RestartNode(node));
+    }
+
+    /// Schedule a network partition between two node groups at time `t`.
+    pub fn schedule_partition(&mut self, t: SimTime, left: Vec<NodeId>, right: Vec<NodeId>) {
+        self.push(t, EventKind::Partition { left, right });
+    }
+
+    /// Schedule healing of all partitions at time `t`.
+    pub fn schedule_heal(&mut self, t: SimTime) {
+        self.push(t, EventKind::HealPartitions);
+    }
+
+    /// Partition the network immediately.
+    pub fn partition(&mut self, left: &[NodeId], right: &[NodeId]) {
+        self.network.partition(left, right);
+    }
+
+    /// Heal all partitions immediately.
+    pub fn heal_partitions(&mut self) {
+        self.network.heal_all();
+    }
+
+    /// Whether `node` is currently up.
+    pub fn node_up(&self, node: NodeId) -> bool {
+        self.nodes[node.0 as usize].up
+    }
+
+    // ----- external interaction -------------------------------------------
+
+    /// Inject a message from the outside world (`ProcessId::EXTERNAL`) to a
+    /// process, delivered after the configured local latency at `t`.
+    pub fn inject_at(&mut self, t: SimTime, to: ProcessId, payload: Payload) {
+        self.push(
+            t.max(self.now),
+            EventKind::Deliver {
+                to,
+                from: ProcessId::EXTERNAL,
+                payload,
+            },
+        );
+    }
+
+    /// Inject a message now.
+    pub fn inject(&mut self, to: ProcessId, payload: Payload) {
+        self.inject_at(self.now, to, payload);
+    }
+
+    // ----- accessors --------------------------------------------------------
+
+    /// The run's metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics access for harnesses.
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// The deterministic RNG (harness-side draws share the stream).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Enable or disable tracing.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    /// Mutable network access (e.g. mid-run reconfiguration).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Read access to a process's durable disk (for test assertions).
+    pub fn disk_of(&self, pid: ProcessId) -> &Disk {
+        &self.procs[pid.0 as usize].disk
+    }
+
+    /// Inspect a live process as its concrete type `T` (the process must
+    /// opt in via [`Process::as_any`]). Used by harnesses for post-run
+    /// audits; returns `None` when the process is down or of another type.
+    pub fn inspect<T: 'static>(&self, pid: ProcessId) -> Option<&T> {
+        self.procs[pid.0 as usize]
+            .state
+            .as_ref()
+            .and_then(|p| p.as_any())
+            .and_then(|any| any.downcast_ref::<T>())
+    }
+
+    // ----- internals ---------------------------------------------------------
+
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            key: EventKey {
+                time,
+                seq: self.seq,
+            },
+            kind,
+        }));
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Start { pid, generation } => {
+                self.run_handler(pid, Some(generation), |proc, ctx| proc.on_start(ctx));
+            }
+            EventKind::Deliver { to, from, payload } => {
+                let slot = &self.procs[to.0 as usize];
+                if !self.nodes[slot.node.0 as usize].up || slot.state.is_none() {
+                    self.metrics.incr("net.dropped_dead_target", 1);
+                    return;
+                }
+                self.metrics.incr("net.delivered", 1);
+                if self.trace.is_enabled() {
+                    self.trace
+                        .record(self.now, to, format!("recv {} from {from}", payload.tag()));
+                }
+                self.run_handler(to, None, |proc, ctx| proc.on_message(ctx, from, payload));
+            }
+            EventKind::Timer {
+                pid,
+                generation,
+                id,
+                tag,
+            } => {
+                if self.cancelled_timers.remove(&id) {
+                    return;
+                }
+                self.run_handler(pid, Some(generation), |proc, ctx| proc.on_timer(ctx, tag));
+            }
+            EventKind::CrashNode(node) => self.apply_crash(node),
+            EventKind::RestartNode(node) => self.apply_restart(node),
+            EventKind::Partition { left, right } => {
+                self.network.partition(&left, &right);
+            }
+            EventKind::HealPartitions => self.network.heal_all(),
+        }
+    }
+
+    /// Run a handler on a process, with effect buffering.
+    ///
+    /// `required_generation`: when `Some`, the handler only runs if the
+    /// process incarnation still matches (used for timers and start events,
+    /// which must not leak across a crash).
+    fn run_handler<F>(&mut self, pid: ProcessId, required_generation: Option<u32>, f: F)
+    where
+        F: FnOnce(&mut Box<dyn Process>, &mut Ctx),
+    {
+        let idx = pid.0 as usize;
+        {
+            let slot = &self.procs[idx];
+            if let Some(generation) = required_generation {
+                if slot.generation != generation {
+                    return;
+                }
+            }
+            if !self.nodes[slot.node.0 as usize].up {
+                return;
+            }
+        }
+        let (mut state, mut disk, node) = {
+            let slot = &mut self.procs[idx];
+            let Some(state) = slot.state.take() else {
+                return;
+            };
+            slot.started = true;
+            (state, std::mem::take(&mut slot.disk), slot.node)
+        };
+        let mut state_box = state;
+        let effects = {
+            let mut ctx = Ctx {
+                now: self.now,
+                pid,
+                node,
+                rng: &mut self.rng,
+                disk: &mut disk,
+                metrics: &mut self.metrics,
+                effects: Vec::new(),
+                timer_seq: &mut self.timer_seq,
+            };
+            f(&mut state_box, &mut ctx);
+            ctx.effects
+        };
+        state = state_box;
+        let slot = &mut self.procs[idx];
+        slot.disk = disk;
+        if slot.generation == required_generation.unwrap_or(slot.generation) {
+            slot.state = Some(state);
+        }
+        let generation = slot.generation;
+        self.apply_effects(pid, node, generation, effects);
+    }
+
+    fn apply_effects(
+        &mut self,
+        pid: ProcessId,
+        node: NodeId,
+        generation: u32,
+        effects: Vec<Effect>,
+    ) {
+        for effect in effects {
+            match effect {
+                Effect::Send {
+                    to,
+                    payload,
+                    extra_delay,
+                } => self.route_send(pid, node, to, payload, extra_delay),
+                Effect::SetTimer { id, delay, tag } => {
+                    self.push(
+                        self.now + delay,
+                        EventKind::Timer {
+                            pid,
+                            generation,
+                            id,
+                            tag,
+                        },
+                    );
+                }
+                Effect::CancelTimer(id) => {
+                    self.cancelled_timers.insert(id);
+                }
+                Effect::Halt => {
+                    let slot = &mut self.procs[pid.0 as usize];
+                    slot.state = None;
+                    slot.halted = true;
+                    slot.generation += 1;
+                }
+            }
+        }
+    }
+
+    fn route_send(
+        &mut self,
+        from: ProcessId,
+        src_node: NodeId,
+        to: ProcessId,
+        payload: Payload,
+        extra_delay: SimDuration,
+    ) {
+        if to == ProcessId::EXTERNAL {
+            // Replies to harness-injected messages leave the simulated
+            // world; swallow them (the harness reads metrics instead).
+            self.metrics.incr("net.to_external", 1);
+            return;
+        }
+        assert!(
+            (to.0 as usize) < self.procs.len(),
+            "send to unknown process {to}"
+        );
+        let dst_node = self.procs[to.0 as usize].node;
+        self.metrics.incr("net.sent", 1);
+        match self.network.route(&mut self.rng, src_node, dst_node) {
+            Fate::Drop => {
+                self.metrics.incr("net.dropped", 1);
+            }
+            Fate::Deliver(lat) => {
+                self.push(
+                    self.now + extra_delay + lat,
+                    EventKind::Deliver { to, from, payload },
+                );
+            }
+            Fate::Duplicate(a, b) => {
+                self.metrics.incr("net.duplicated", 1);
+                self.push(
+                    self.now + extra_delay + a,
+                    EventKind::Deliver {
+                        to,
+                        from,
+                        payload: payload.clone(),
+                    },
+                );
+                self.push(
+                    self.now + extra_delay + b,
+                    EventKind::Deliver { to, from, payload },
+                );
+            }
+        }
+    }
+
+    fn apply_crash(&mut self, node: NodeId) {
+        if !self.nodes[node.0 as usize].up {
+            return;
+        }
+        self.nodes[node.0 as usize].up = false;
+        self.metrics.incr("fault.crashes", 1);
+        for slot in &mut self.procs {
+            if slot.node == node && !slot.halted {
+                slot.state = None;
+                slot.generation += 1;
+            }
+        }
+    }
+
+    fn apply_restart(&mut self, node: NodeId) {
+        if self.nodes[node.0 as usize].up {
+            return;
+        }
+        self.nodes[node.0 as usize].up = true;
+        self.metrics.incr("fault.restarts", 1);
+        let mut to_start = Vec::new();
+        for (i, slot) in self.procs.iter_mut().enumerate() {
+            if slot.node == node && !slot.halted {
+                let pid = ProcessId(i as u32);
+                let mut boot = Boot {
+                    disk: &mut slot.disk,
+                    pid,
+                    node,
+                    now: self.now,
+                    restart: true,
+                };
+                slot.state = Some((slot.factory)(&mut boot));
+                to_start.push((pid, slot.generation));
+            }
+        }
+        for (pid, generation) in to_start {
+            self.push(self.now, EventKind::Start { pid, generation });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every `u64` payload back to the sender, incremented.
+    struct Echo;
+    impl Process for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, payload: Payload) {
+            let v = *payload.expect::<u64>();
+            if from != ProcessId::EXTERNAL {
+                ctx.send(from, Payload::new(v + 1));
+            }
+            ctx.metrics().incr("echo.seen", 1);
+        }
+    }
+
+    /// Sends one message to a peer on start, counts replies.
+    struct Starter {
+        peer: ProcessId,
+    }
+    impl Process for Starter {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.send(self.peer, Payload::new(10u64));
+        }
+        fn on_message(&mut self, ctx: &mut Ctx, _from: ProcessId, payload: Payload) {
+            ctx.metrics()
+                .incr("starter.reply", *payload.expect::<u64>());
+        }
+    }
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let mut sim = Sim::with_seed(1);
+        let n0 = sim.add_node();
+        let n1 = sim.add_node();
+        let echo = sim.spawn(n1, "echo", |_| Box::new(Echo));
+        sim.spawn(n0, "starter", move |_| Box::new(Starter { peer: echo }));
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(sim.metrics().counter("echo.seen"), 1);
+        assert_eq!(sim.metrics().counter("starter.reply"), 11);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_events() {
+        fn run(seed: u64) -> (u64, u64) {
+            let mut sim = Sim::new(SimConfig {
+                seed,
+                network: NetworkConfig::lossy(0.1, 0.1),
+            });
+            let n0 = sim.add_node();
+            let n1 = sim.add_node();
+            let echo = sim.spawn(n1, "echo", |_| Box::new(Echo));
+            struct Spammer {
+                peer: ProcessId,
+                left: u32,
+            }
+            impl Process for Spammer {
+                fn on_start(&mut self, ctx: &mut Ctx) {
+                    ctx.set_timer(SimDuration::from_micros(100), 0);
+                }
+                fn on_message(&mut self, _: &mut Ctx, _: ProcessId, _: Payload) {}
+                fn on_timer(&mut self, ctx: &mut Ctx, _: u64) {
+                    ctx.send(self.peer, Payload::new(1u64));
+                    self.left -= 1;
+                    if self.left > 0 {
+                        ctx.set_timer(SimDuration::from_micros(100), 0);
+                    }
+                }
+            }
+            sim.spawn(n0, "spam", move |_| {
+                Box::new(Spammer {
+                    peer: echo,
+                    left: 200,
+                })
+            });
+            sim.run_for(SimDuration::from_secs(1));
+            (
+                sim.metrics().counter("echo.seen"),
+                sim.events_processed(),
+            )
+        }
+        assert_eq!(run(7), run(7));
+        // Different seeds should diverge under 10% loss.
+        assert_ne!(run(7).0, run(8).0);
+    }
+
+    #[test]
+    fn crash_drops_volatile_state_restart_recovers_disk() {
+        struct Counter {
+            count: u64,
+        }
+        impl Process for Counter {
+            fn on_message(&mut self, ctx: &mut Ctx, _: ProcessId, _: Payload) {
+                self.count += 1;
+                ctx.disk().put("count", self.count);
+                ctx.metrics().incr("counter.latest", 0); // touch
+            }
+        }
+        let mut sim = Sim::with_seed(3);
+        let n0 = sim.add_node();
+        let pid = sim.spawn(n0, "counter", |boot| {
+            let count = boot.disk.get::<u64>("count").unwrap_or(0);
+            Box::new(Counter { count })
+        });
+        for _ in 0..5 {
+            sim.inject(pid, Payload::new(()));
+        }
+        sim.run_for(SimDuration::from_millis(1));
+        assert_eq!(sim.disk_of(pid).get::<u64>("count"), Some(5));
+        sim.crash_node(n0);
+        sim.restart_node(n0);
+        // Two more messages after recovery continue from the durable count.
+        sim.inject(pid, Payload::new(()));
+        sim.inject(pid, Payload::new(()));
+        sim.run_for(SimDuration::from_millis(1));
+        assert_eq!(sim.disk_of(pid).get::<u64>("count"), Some(7));
+    }
+
+    #[test]
+    fn timers_do_not_survive_crash() {
+        struct TimerProc;
+        impl Process for TimerProc {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(SimDuration::from_millis(5), 42);
+            }
+            fn on_message(&mut self, _: &mut Ctx, _: ProcessId, _: Payload) {}
+            fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+                assert_eq!(tag, 42);
+                ctx.metrics().incr("timer.fired", 1);
+            }
+        }
+        let mut sim = Sim::with_seed(4);
+        let n0 = sim.add_node();
+        sim.spawn(n0, "t", |_| Box::new(TimerProc));
+        sim.run_for(SimDuration::from_millis(1));
+        sim.crash_node(n0);
+        sim.run_for(SimDuration::from_millis(20));
+        // Old timer must not fire; node stays down so no restart timer either.
+        assert_eq!(sim.metrics().counter("timer.fired"), 0);
+        sim.restart_node(n0);
+        sim.run_for(SimDuration::from_millis(20));
+        // Restart re-runs on_start, arming a fresh timer that fires once.
+        assert_eq!(sim.metrics().counter("timer.fired"), 1);
+    }
+
+    #[test]
+    fn cancel_timer_prevents_firing() {
+        struct C;
+        impl Process for C {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                let id = ctx.set_timer(SimDuration::from_millis(1), 1);
+                ctx.cancel_timer(id);
+                ctx.set_timer(SimDuration::from_millis(2), 2);
+            }
+            fn on_message(&mut self, _: &mut Ctx, _: ProcessId, _: Payload) {}
+            fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+                assert_eq!(tag, 2, "cancelled timer fired");
+                ctx.metrics().incr("fired", 1);
+            }
+        }
+        let mut sim = Sim::with_seed(5);
+        let n = sim.add_node();
+        sim.spawn(n, "c", |_| Box::new(C));
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(sim.metrics().counter("fired"), 1);
+    }
+
+    #[test]
+    fn messages_to_down_node_are_lost() {
+        let mut sim = Sim::with_seed(6);
+        let n0 = sim.add_node();
+        let n1 = sim.add_node();
+        let echo = sim.spawn(n1, "echo", |_| Box::new(Echo));
+        sim.run_for(SimDuration::from_micros(1));
+        sim.crash_node(n1);
+        sim.inject(echo, Payload::new(1u64));
+        sim.run_for(SimDuration::from_millis(5));
+        assert_eq!(sim.metrics().counter("echo.seen"), 0);
+        assert_eq!(sim.metrics().counter("net.dropped_dead_target"), 1);
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        let mut sim = Sim::with_seed(7);
+        let n0 = sim.add_node();
+        let n1 = sim.add_node();
+        let echo = sim.spawn(n1, "echo", |_| Box::new(Echo));
+        struct Pinger {
+            peer: ProcessId,
+        }
+        impl Process for Pinger {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx, _: ProcessId, _: Payload) {}
+            fn on_timer(&mut self, ctx: &mut Ctx, _: u64) {
+                ctx.send(self.peer, Payload::new(0u64));
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+        }
+        sim.spawn(n0, "ping", move |_| Box::new(Pinger { peer: echo }));
+        sim.partition(&[n0], &[n1]);
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(sim.metrics().counter("echo.seen"), 0);
+        sim.heal_partitions();
+        sim.run_for(SimDuration::from_millis(10));
+        assert!(sim.metrics().counter("echo.seen") > 0);
+    }
+
+    #[test]
+    fn halt_stops_process_for_good() {
+        struct OneShot;
+        impl Process for OneShot {
+            fn on_message(&mut self, ctx: &mut Ctx, _: ProcessId, _: Payload) {
+                ctx.metrics().incr("oneshot.hits", 1);
+                ctx.halt();
+            }
+        }
+        let mut sim = Sim::with_seed(8);
+        let n = sim.add_node();
+        let p = sim.spawn(n, "o", |_| Box::new(OneShot));
+        sim.inject(p, Payload::new(()));
+        sim.inject(p, Payload::new(()));
+        sim.run_for(SimDuration::from_millis(1));
+        assert_eq!(sim.metrics().counter("oneshot.hits"), 1);
+        assert!(!sim.is_alive(p));
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim = Sim::with_seed(9);
+        sim.run_until(SimTime::from_nanos(1_000_000));
+        assert_eq!(sim.now(), SimTime::from_nanos(1_000_000));
+    }
+}

@@ -1,0 +1,236 @@
+//! The simulated network: latency, loss, duplication, and partitions.
+//!
+//! The paper's messaging discussion (§3.2) turns on exactly three network
+//! behaviours: messages can be *delayed* (reordering), *lost* (requiring
+//! retries), and *duplicated* (requiring idempotency). Partitions add the
+//! fourth failure mode that distinguishes blocking protocols such as 2PC
+//! from sagas (§4.2). All four are first-class here.
+
+use std::collections::HashSet;
+
+use crate::proc::NodeId;
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Static behaviour of the simulated network.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Minimum one-way latency between distinct nodes.
+    pub latency_min: SimDuration,
+    /// Maximum one-way latency between distinct nodes (uniform in between).
+    pub latency_max: SimDuration,
+    /// Latency for messages between processes on the same node.
+    pub local_latency: SimDuration,
+    /// Probability that a cross-node message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability that a cross-node message is delivered twice.
+    pub dup_prob: f64,
+}
+
+impl Default for NetworkConfig {
+    /// A well-behaved datacenter network: 200–500µs one-way latency, 10µs
+    /// loopback, no loss, no duplication.
+    fn default() -> Self {
+        NetworkConfig {
+            latency_min: SimDuration::from_micros(200),
+            latency_max: SimDuration::from_micros(500),
+            local_latency: SimDuration::from_micros(10),
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A lossy wide-area-style network useful for fault experiments.
+    pub fn lossy(drop_prob: f64, dup_prob: f64) -> Self {
+        NetworkConfig {
+            drop_prob,
+            dup_prob,
+            ..NetworkConfig::default()
+        }
+    }
+}
+
+/// What the network decided to do with one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Fate {
+    /// Deliver once after the given latency.
+    Deliver(SimDuration),
+    /// Deliver twice, at two independent latencies.
+    Duplicate(SimDuration, SimDuration),
+    /// Silently drop.
+    Drop,
+}
+
+/// Runtime network state: configuration plus currently blocked links.
+pub struct Network {
+    config: NetworkConfig,
+    /// Symmetric blocked (a, b) node pairs with a < b.
+    cuts: HashSet<(NodeId, NodeId)>,
+}
+
+fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Network {
+    /// Create a network with the given behaviour and no partitions.
+    pub fn new(config: NetworkConfig) -> Self {
+        Network {
+            config,
+            cuts: HashSet::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Replace the configuration (e.g. mid-run degradation).
+    pub fn set_config(&mut self, config: NetworkConfig) {
+        self.config = config;
+    }
+
+    /// Cut every link between a node in `left` and a node in `right`.
+    pub fn partition(&mut self, left: &[NodeId], right: &[NodeId]) {
+        for &a in left {
+            for &b in right {
+                if a != b {
+                    self.cuts.insert(ordered(a, b));
+                }
+            }
+        }
+    }
+
+    /// Restore all links.
+    pub fn heal_all(&mut self) {
+        self.cuts.clear();
+    }
+
+    /// True when traffic between `a` and `b` is currently blocked.
+    pub fn is_blocked(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.cuts.contains(&ordered(a, b))
+    }
+
+    /// Decide the fate of one message from `src` to `dst`.
+    pub(crate) fn route(
+        &self,
+        rng: &mut SimRng,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Fate {
+        if src == dst {
+            // Loopback: reliable, fast, in-order enough for our purposes.
+            return Fate::Deliver(self.config.local_latency);
+        }
+        if self.is_blocked(src, dst) || rng.chance(self.config.drop_prob) {
+            return Fate::Drop;
+        }
+        let lat = self.sample_latency(rng);
+        if rng.chance(self.config.dup_prob) {
+            Fate::Duplicate(lat, self.sample_latency(rng))
+        } else {
+            Fate::Deliver(lat)
+        }
+    }
+
+    fn sample_latency(&self, rng: &mut SimRng) -> SimDuration {
+        let lo = self.config.latency_min.as_nanos();
+        let hi = self.config.latency_max.as_nanos();
+        if hi <= lo {
+            return self.config.latency_min;
+        }
+        SimDuration::from_nanos(rng.range(lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(1)
+    }
+
+    #[test]
+    fn loopback_is_reliable_even_when_lossy() {
+        let net = Network::new(NetworkConfig::lossy(1.0, 1.0));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(
+                net.route(&mut r, NodeId(0), NodeId(0)),
+                Fate::Deliver(net.config().local_latency)
+            );
+        }
+    }
+
+    #[test]
+    fn full_drop_probability_drops_everything() {
+        let net = Network::new(NetworkConfig::lossy(1.0, 0.0));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(net.route(&mut r, NodeId(0), NodeId(1)), Fate::Drop);
+        }
+    }
+
+    #[test]
+    fn duplication_produces_two_latencies() {
+        let net = Network::new(NetworkConfig::lossy(0.0, 1.0));
+        let mut r = rng();
+        match net.route(&mut r, NodeId(0), NodeId(1)) {
+            Fate::Duplicate(a, b) => {
+                assert!(a >= net.config().latency_min && a <= net.config().latency_max);
+                assert!(b >= net.config().latency_min && b <= net.config().latency_max);
+            }
+            other => panic!("expected duplicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_within_bounds() {
+        let net = Network::new(NetworkConfig::default());
+        let mut r = rng();
+        for _ in 0..1000 {
+            match net.route(&mut r, NodeId(0), NodeId(1)) {
+                Fate::Deliver(l) => {
+                    assert!(l >= net.config().latency_min);
+                    assert!(l < net.config().latency_max);
+                }
+                f => panic!("unexpected fate {f:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn partition_blocks_symmetrically_and_heals() {
+        let mut net = Network::new(NetworkConfig::default());
+        net.partition(&[NodeId(0), NodeId(1)], &[NodeId(2)]);
+        assert!(net.is_blocked(NodeId(0), NodeId(2)));
+        assert!(net.is_blocked(NodeId(2), NodeId(0)));
+        assert!(net.is_blocked(NodeId(1), NodeId(2)));
+        assert!(!net.is_blocked(NodeId(0), NodeId(1)));
+        assert!(!net.is_blocked(NodeId(2), NodeId(2)));
+        let mut r = rng();
+        assert_eq!(net.route(&mut r, NodeId(0), NodeId(2)), Fate::Drop);
+        net.heal_all();
+        assert!(!net.is_blocked(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn degenerate_latency_range() {
+        let mut cfg = NetworkConfig::default();
+        cfg.latency_max = cfg.latency_min;
+        let net = Network::new(cfg);
+        let mut r = rng();
+        assert_eq!(
+            net.route(&mut r, NodeId(0), NodeId(1)),
+            Fate::Deliver(net.config().latency_min)
+        );
+    }
+}

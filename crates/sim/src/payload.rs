@@ -1,0 +1,105 @@
+//! Dynamically typed message payloads.
+//!
+//! Components across crates exchange messages without a shared closed enum,
+//! so payloads are reference-counted `dyn Any` values. Cloning a [`Payload`]
+//! is a pointer bump, which makes the network's *duplicate delivery* fault
+//! (§3.2 of the paper) free to model. Receivers downcast to the concrete
+//! message type they understand.
+
+use std::any::Any;
+use std::fmt;
+use std::rc::Rc;
+
+/// An opaque, cheaply clonable message payload.
+#[derive(Clone)]
+pub struct Payload {
+    inner: Rc<dyn Any>,
+    /// Human-readable type tag, kept for traces and diagnostics.
+    tag: &'static str,
+}
+
+impl Payload {
+    /// Wrap a concrete message value.
+    pub fn new<T: Any>(value: T) -> Self {
+        Payload {
+            inner: Rc::new(value),
+            tag: std::any::type_name::<T>(),
+        }
+    }
+
+    /// Borrow the payload as `T`, if that is its concrete type.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.inner.downcast_ref::<T>()
+    }
+
+    /// Borrow the payload as `T`, panicking with a useful message otherwise.
+    ///
+    /// Use at points where receiving any other type is a programming error.
+    pub fn expect<T: Any>(&self) -> &T {
+        match self.inner.downcast_ref::<T>() {
+            Some(v) => v,
+            None => panic!(
+                "payload type mismatch: expected {}, got {}",
+                std::any::type_name::<T>(),
+                self.tag
+            ),
+        }
+    }
+
+    /// True if the payload's concrete type is `T`.
+    pub fn is<T: Any>(&self) -> bool {
+        self.inner.is::<T>()
+    }
+
+    /// The concrete type name this payload was constructed with.
+    pub fn tag(&self) -> &'static str {
+        self.tag
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload<{}>", self.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Ping(u32);
+    #[derive(Debug)]
+    struct Pong;
+
+    #[test]
+    fn downcast_roundtrip() {
+        let p = Payload::new(Ping(7));
+        assert_eq!(p.downcast_ref::<Ping>(), Some(&Ping(7)));
+        assert!(p.downcast_ref::<Pong>().is_none());
+        assert!(p.is::<Ping>());
+        assert!(!p.is::<Pong>());
+    }
+
+    #[test]
+    fn clone_shares_value() {
+        let p = Payload::new(Ping(9));
+        let q = p.clone();
+        assert_eq!(q.expect::<Ping>().0, 9);
+        assert_eq!(p.expect::<Ping>().0, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload type mismatch")]
+    fn expect_panics_on_wrong_type() {
+        let p = Payload::new(Ping(1));
+        let _ = p.expect::<Pong>();
+    }
+
+    #[test]
+    fn tag_names_type() {
+        let p = Payload::new(Ping(1));
+        assert!(p.tag().contains("Ping"));
+        assert!(format!("{p:?}").contains("Ping"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Processes, their durable disks, and the handler context.
+//!
+//! A [`Process`] is a deterministic state machine living on a simulated
+//! node. It reacts to messages and timers through a [`Ctx`] that buffers
+//! effects (sends, timers) which the kernel applies after the handler
+//! returns — the classic discrete-event structure of distributed protocol
+//! code, and exactly the shape that makes crash points precise: a crash can
+//! only happen *between* handler invocations.
+//!
+//! Volatile state (the `Process` value itself) is destroyed by a node crash.
+//! State written to the process's [`Disk`] survives crashes and is handed
+//! back to the process factory on restart — this models durable storage
+//! without byte-level serialization.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::metrics::Metrics;
+use crate::payload::Payload;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifies a process (service instance, actor runtime, broker, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// The pseudo-sender used for messages injected by the test harness
+    /// ("the outside world" / client edge).
+    pub const EXTERNAL: ProcessId = ProcessId(u32::MAX);
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == ProcessId::EXTERNAL {
+            write!(f, "ext")
+        } else {
+            write!(f, "p{}", self.0)
+        }
+    }
+}
+
+/// Handle to a pending timer, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(pub u64);
+
+/// Durable per-process storage that survives node crashes.
+///
+/// Values are stored as `Rc<dyn Any>` and read back by cloning the inner
+/// `T`, so a restarted process observes exactly what was persisted and
+/// cannot alias the live copy.
+#[derive(Default)]
+pub struct Disk {
+    entries: HashMap<String, Rc<dyn Any>>,
+    writes: u64,
+    reads: Cell<u64>,
+}
+
+impl Disk {
+    /// Empty disk.
+    pub fn new() -> Self {
+        Disk::default()
+    }
+
+    /// Persist `value` under `key`, replacing any previous value.
+    pub fn put<T: Any>(&mut self, key: &str, value: T) {
+        self.writes += 1;
+        self.entries.insert(key.to_owned(), Rc::new(value));
+    }
+
+    /// Read back a clone of the value stored under `key`.
+    pub fn get<T: Any + Clone>(&self, key: &str) -> Option<T> {
+        self.reads.set(self.reads.get() + 1);
+        self.entries
+            .get(key)
+            .and_then(|v| v.downcast_ref::<T>())
+            .cloned()
+    }
+
+    /// Remove `key`; returns whether it existed.
+    pub fn remove(&mut self, key: &str) -> bool {
+        self.writes += 1;
+        self.entries.remove(key).is_some()
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Keys currently stored, in arbitrary order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(|k| k.as_str())
+    }
+
+    /// Number of durable writes performed (for I/O accounting).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of durable reads performed.
+    pub fn read_count(&self) -> u64 {
+        self.reads.get()
+    }
+}
+
+/// A deterministic event-driven process.
+pub trait Process {
+    /// Called once when the process (re)starts, after construction.
+    fn on_start(&mut self, _ctx: &mut Ctx) {}
+
+    /// Called for every delivered message.
+    fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, payload: Payload);
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Ctx, _tag: u64) {}
+
+    /// Expose the concrete type for harness-side inspection (post-run
+    /// audits peeking at server state). Return `Some(self)` to opt in.
+    fn as_any(&self) -> Option<&dyn Any> {
+        None
+    }
+}
+
+/// Construction-time view handed to process factories, giving access to the
+/// durable disk for recovery.
+pub struct Boot<'a> {
+    /// The process's durable storage, surviving from before the crash.
+    pub disk: &'a mut Disk,
+    /// The process's identity.
+    pub pid: ProcessId,
+    /// The node the process runs on.
+    pub node: NodeId,
+    /// Virtual time of the (re)start.
+    pub now: SimTime,
+    /// True when this is a restart after a crash rather than first boot.
+    pub restart: bool,
+}
+
+/// Factory recreating a process's volatile state, possibly from its disk.
+pub type ProcessFactory = Box<dyn FnMut(&mut Boot) -> Box<dyn Process>>;
+
+/// Buffered effect produced by a handler; applied by the kernel afterwards.
+pub(crate) enum Effect {
+    Send {
+        to: ProcessId,
+        payload: Payload,
+        extra_delay: SimDuration,
+    },
+    SetTimer {
+        id: TimerId,
+        delay: SimDuration,
+        tag: u64,
+    },
+    CancelTimer(TimerId),
+    Halt,
+}
+
+/// The handler-side view of the simulation: clock, randomness, messaging,
+/// timers, durable disk, and metrics.
+pub struct Ctx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) pid: ProcessId,
+    pub(crate) node: NodeId,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) disk: &'a mut Disk,
+    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) effects: Vec<Effect>,
+    pub(crate) timer_seq: &'a mut u64,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This process's id.
+    pub fn me(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// The node this process runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Send `payload` to `to` over the simulated network.
+    pub fn send(&mut self, to: ProcessId, payload: Payload) {
+        self.effects.push(Effect::Send {
+            to,
+            payload,
+            extra_delay: SimDuration::ZERO,
+        });
+    }
+
+    /// Send after holding the message locally for `delay` first.
+    pub fn send_after(&mut self, to: ProcessId, payload: Payload, delay: SimDuration) {
+        self.effects.push(Effect::Send {
+            to,
+            payload,
+            extra_delay: delay,
+        });
+    }
+
+    /// Arm a timer that fires [`Process::on_timer`] with `tag` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        *self.timer_seq += 1;
+        let id = TimerId(*self.timer_seq);
+        self.effects.push(Effect::SetTimer { id, delay, tag });
+        id
+    }
+
+    /// Cancel a previously armed timer. Cancelling an already-fired timer
+    /// is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer(id));
+    }
+
+    /// Stop this process permanently (it will not receive further events).
+    pub fn halt(&mut self) {
+        self.effects.push(Effect::Halt);
+    }
+
+    /// The deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// The process's durable disk.
+    pub fn disk(&mut self) -> &mut Disk {
+        self.disk
+    }
+
+    /// The run-wide metrics registry.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_typed_roundtrip() {
+        let mut d = Disk::new();
+        d.put("count", 42u64);
+        d.put("name", String::from("alpha"));
+        assert_eq!(d.get::<u64>("count"), Some(42));
+        assert_eq!(d.get::<String>("name").as_deref(), Some("alpha"));
+        assert_eq!(d.get::<u32>("count"), None, "wrong type reads as None");
+        assert!(d.contains("count"));
+        assert!(d.remove("count"));
+        assert!(!d.contains("count"));
+        assert!(!d.remove("count"));
+    }
+
+    #[test]
+    fn disk_counts_io() {
+        let mut d = Disk::new();
+        d.put("a", 1u8);
+        let _ = d.get::<u8>("a");
+        let _ = d.get::<u8>("b");
+        assert_eq!(d.write_count(), 1);
+        assert_eq!(d.read_count(), 2);
+    }
+
+    #[test]
+    fn disk_get_clones() {
+        let mut d = Disk::new();
+        d.put("v", vec![1, 2, 3]);
+        let mut v: Vec<i32> = d.get("v").unwrap();
+        v.push(4);
+        assert_eq!(d.get::<Vec<i32>>("v").unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(ProcessId(5).to_string(), "p5");
+        assert_eq!(ProcessId::EXTERNAL.to_string(), "ext");
+    }
+}

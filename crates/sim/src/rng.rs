@@ -1,0 +1,226 @@
+//! Deterministic randomness and the samplers the workloads need.
+//!
+//! All randomness in a simulation flows from a single [`SimRng`] seeded by
+//! the harness, so the same seed reproduces the same run bit-for-bit. On top
+//! of the raw generator we provide the two distributions the paper's cited
+//! workloads rely on: exponential inter-arrival times (open-loop load, \[56\])
+//! and Zipfian key popularity (YCSB / contention sweeps).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// The simulation-wide deterministic random number generator.
+///
+/// Wraps a seeded [`StdRng`]; every process draws from the same stream in
+/// event order, which keeps runs reproducible.
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create a generator from a seed. Equal seeds produce equal streams.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform `usize` index in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial: `true` with probability `p` (clamped to `\[0, 1\]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    ///
+    /// This is the inter-arrival distribution of a Poisson (open-loop)
+    /// arrival process.
+    pub fn exponential(&mut self, mean: SimDuration) -> SimDuration {
+        // Inverse-CDF sampling; 1 - U avoids ln(0).
+        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        let x = -u.ln() * mean.as_nanos() as f64;
+        SimDuration::from_nanos(x.round().min(u64::MAX as f64).max(0.0) as u64)
+    }
+
+    /// Uniform duration jitter in `[0, max)`.
+    pub fn jitter(&mut self, max: SimDuration) -> SimDuration {
+        if max == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos(self.range(0, max.as_nanos()))
+    }
+
+    /// A raw 64-bit draw, for callers needing entropy directly.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+/// Zipfian sampler over `[0, n)` with skew parameter `theta`.
+///
+/// `theta = 0` is uniform; YCSB's default hot-spot setting is `theta ≈ 0.99`.
+/// Sampling is inverse-CDF with a binary search over precomputed cumulative
+/// weights: O(n) memory, O(log n) per sample, deterministic.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler. Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over empty domain");
+        assert!(theta >= 0.0, "negative skew");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(theta);
+            cumulative.push(total);
+        }
+        // Normalise so the last entry is exactly 1.0.
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of items in the domain.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the domain has a single element.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw an index in `[0, n)`; index 0 is the most popular.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("NaN in cumulative"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(7);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::new(9);
+        let mean = SimDuration::from_millis(10);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| rng.exponential(mean).as_nanos()).sum();
+        let avg = total as f64 / n as f64;
+        let expected = mean.as_nanos() as f64;
+        assert!((avg - expected).abs() / expected < 0.05, "avg={avg}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SimRng::new(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (
+            *counts.iter().min().unwrap(),
+            *counts.iter().max().unwrap(),
+        );
+        assert!((max - min) as f64 / 5_000.0 < 0.15, "counts={counts:?}");
+    }
+
+    #[test]
+    fn zipf_skews_to_head() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = SimRng::new(4);
+        let mut head = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 the top 10% of keys absorb well over half the mass.
+        assert!(head as f64 / n as f64 > 0.5, "head fraction {head}/{n}");
+    }
+
+    #[test]
+    fn zipf_sample_in_range() {
+        let z = Zipf::new(3, 1.2);
+        let mut rng = SimRng::new(5);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let mut rng = SimRng::new(11);
+        let max = SimDuration::from_micros(50);
+        for _ in 0..1000 {
+            assert!(rng.jitter(max) < max);
+        }
+        assert_eq!(rng.jitter(SimDuration::ZERO), SimDuration::ZERO);
+    }
+}

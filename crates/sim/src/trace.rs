@@ -1,0 +1,87 @@
+//! Optional event trace for debugging and test assertions.
+
+use crate::proc::ProcessId;
+use crate::time::SimTime;
+
+/// One traced event.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub time: SimTime,
+    /// The process involved.
+    pub pid: ProcessId,
+    /// Free-form description.
+    pub what: String,
+}
+
+/// A bounded in-memory trace, disabled by default (zero cost when off).
+#[derive(Default)]
+pub struct Trace {
+    enabled: bool,
+    entries: Vec<TraceEntry>,
+    cap: usize,
+}
+
+impl Trace {
+    /// A disabled trace.
+    pub fn new() -> Self {
+        Trace {
+            enabled: false,
+            entries: Vec::new(),
+            cap: 100_000,
+        }
+    }
+
+    /// Turn tracing on or off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether tracing is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an entry if enabled and under capacity.
+    pub fn record(&mut self, time: SimTime, pid: ProcessId, what: impl Into<String>) {
+        if self.enabled && self.entries.len() < self.cap {
+            self.entries.push(TraceEntry {
+                time,
+                pid,
+                what: what.into(),
+            });
+        }
+    }
+
+    /// All recorded entries, in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// True if any entry's description contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.entries.iter().any(|e| e.what.contains(needle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.record(SimTime::ZERO, ProcessId(0), "x");
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_searches() {
+        let mut t = Trace::new();
+        t.set_enabled(true);
+        t.record(SimTime::ZERO, ProcessId(0), "commit tx1");
+        assert_eq!(t.entries().len(), 1);
+        assert!(t.contains("tx1"));
+        assert!(!t.contains("abort"));
+    }
+}

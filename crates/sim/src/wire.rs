@@ -1,0 +1,30 @@
+//! Shared RPC wire envelopes.
+//!
+//! These two structs are the on-the-wire shape of every request/response
+//! interaction. They live in `tca-sim` (rather than the messaging crate)
+//! so that low-level servers — the database, the broker — can accept both
+//! bare requests and RPC-enveloped requests without a dependency cycle.
+//! The client-side retry machinery lives in `tca-messaging::rpc`.
+
+use crate::payload::Payload;
+
+/// A request envelope carrying a correlation id.
+///
+/// The `call_id` is unique per *logical* call and identical across
+/// retries, so it doubles as an idempotency key for receivers.
+#[derive(Debug, Clone)]
+pub struct RpcRequest {
+    /// Correlation id (stable across retries).
+    pub call_id: u64,
+    /// Application payload.
+    pub body: Payload,
+}
+
+/// The matching reply envelope.
+#[derive(Debug, Clone)]
+pub struct RpcReply {
+    /// The request's correlation id.
+    pub call_id: u64,
+    /// Application payload.
+    pub body: Payload,
+}

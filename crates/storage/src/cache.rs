@@ -1,0 +1,262 @@
+//! A TTL + LRU read-through cache.
+//!
+//! §3.4 of the paper: low-latency microservices embed a cache (Redis,
+//! Hazelcast) in front of the external database, "blurring the line
+//! between embedded and external state management" — and trading latency
+//! for *freshness*. This cache makes that trade-off measurable: entries
+//! served within their TTL may be stale, and the staleness experiment (E5)
+//! counts exactly how stale.
+
+use std::collections::HashMap;
+
+use tca_sim::{SimDuration, SimTime};
+
+use crate::types::{Key, Value};
+
+/// Configuration for a [`TtlCache`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Maximum number of entries before LRU eviction.
+    pub capacity: usize,
+    /// How long an entry may be served after insertion.
+    pub ttl: SimDuration,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 1024,
+            ttl: SimDuration::from_millis(100),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    value: Value,
+    expires_at: SimTime,
+    last_used: u64,
+    /// Commit-time version tag, used by the staleness audit.
+    version: u64,
+}
+
+/// The cache.
+#[derive(Debug)]
+pub struct TtlCache {
+    config: CacheConfig,
+    entries: HashMap<Key, Entry>,
+    use_clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl TtlCache {
+    /// Empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.capacity > 0, "cache needs capacity");
+        TtlCache {
+            config,
+            entries: HashMap::new(),
+            use_clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up `key` at time `now`. Expired entries count as misses and
+    /// are dropped.
+    pub fn get(&mut self, key: &str, now: SimTime) -> Option<Value> {
+        self.use_clock += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) if entry.expires_at > now => {
+                entry.last_used = self.use_clock;
+                self.hits += 1;
+                Some(entry.value.clone())
+            }
+            Some(_) => {
+                self.entries.remove(key);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Like [`TtlCache::get`] but also returns the version tag stored with
+    /// the entry, letting audits compare against the authoritative version.
+    pub fn get_versioned(&mut self, key: &str, now: SimTime) -> Option<(Value, u64)> {
+        self.use_clock += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) if entry.expires_at > now => {
+                entry.last_used = self.use_clock;
+                self.hits += 1;
+                Some((entry.value.clone(), entry.version))
+            }
+            Some(_) => {
+                self.entries.remove(key);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert or refresh an entry (read-through fill or write-through).
+    pub fn insert(&mut self, key: &str, value: Value, version: u64, now: SimTime) {
+        self.use_clock += 1;
+        if !self.entries.contains_key(key) && self.entries.len() >= self.config.capacity {
+            self.evict_lru();
+        }
+        self.entries.insert(
+            key.to_owned(),
+            Entry {
+                value,
+                expires_at: now + self.config.ttl,
+                last_used: self.use_clock,
+                version,
+            },
+        );
+    }
+
+    /// Drop an entry (invalidation on write).
+    pub fn invalidate(&mut self, key: &str) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(victim) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            self.entries.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// LRU evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit ratio in `\[0, 1\]`; zero when unused.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    fn cache(capacity: usize, ttl_ms: u64) -> TtlCache {
+        TtlCache::new(CacheConfig {
+            capacity,
+            ttl: SimDuration::from_millis(ttl_ms),
+        })
+    }
+
+    #[test]
+    fn hit_within_ttl_miss_after() {
+        let mut c = cache(10, 50);
+        c.insert("a", Value::Int(1), 1, t(0));
+        assert_eq!(c.get("a", t(10)), Some(Value::Int(1)));
+        assert_eq!(c.get("a", t(60)), None, "expired");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = cache(2, 1000);
+        c.insert("a", Value::Int(1), 1, t(0));
+        c.insert("b", Value::Int(2), 1, t(1));
+        // Touch a so b becomes LRU.
+        assert!(c.get("a", t(2)).is_some());
+        c.insert("c", Value::Int(3), 1, t(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("b", t(4)).is_none(), "b evicted");
+        assert!(c.get("a", t(4)).is_some());
+        assert!(c.get("c", t(4)).is_some());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn invalidation_forces_miss() {
+        let mut c = cache(10, 1000);
+        c.insert("a", Value::Int(1), 1, t(0));
+        assert!(c.invalidate("a"));
+        assert!(!c.invalidate("a"));
+        assert_eq!(c.get("a", t(1)), None);
+    }
+
+    #[test]
+    fn versioned_reads_expose_staleness() {
+        let mut c = cache(10, 1000);
+        c.insert("a", Value::Int(1), 7, t(0));
+        let (v, version) = c.get_versioned("a", t(1)).unwrap();
+        assert_eq!(v, Value::Int(1));
+        assert_eq!(version, 7);
+    }
+
+    #[test]
+    fn refresh_updates_value_and_ttl() {
+        let mut c = cache(10, 50);
+        c.insert("a", Value::Int(1), 1, t(0));
+        c.insert("a", Value::Int(2), 2, t(40));
+        assert_eq!(c.get("a", t(80)), Some(Value::Int(2)), "ttl restarted");
+    }
+
+    #[test]
+    fn hit_ratio_math() {
+        let mut c = cache(10, 1000);
+        assert_eq!(c.hit_ratio(), 0.0);
+        c.insert("a", Value::Int(1), 1, t(0));
+        c.get("a", t(1));
+        c.get("b", t(1));
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+}

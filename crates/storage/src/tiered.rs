@@ -1,0 +1,229 @@
+//! Tiered state storage: a bounded hot tier spilling to cold object storage.
+//!
+//! §3.3 (dataflows) and §5.2 (disaggregation): when an operator's state
+//! exceeds local storage, systems spill to cloud object stores (S3) at a
+//! much higher access latency. This model captures the essential cost
+//! structure — bounded fast tier, unbounded slow tier, promotion on access
+//! — so state-size sweeps show the hot/cold crossover.
+
+use std::collections::{HashMap, VecDeque};
+
+use tca_sim::SimDuration;
+
+use crate::types::{Key, Value};
+
+/// Tier cost/capacity configuration.
+#[derive(Debug, Clone)]
+pub struct TieredConfig {
+    /// Maximum entries resident in the hot (local) tier.
+    pub hot_capacity: usize,
+    /// Access latency for hot-tier hits (e.g. local SSD / memory).
+    pub hot_latency: SimDuration,
+    /// Access latency for cold-tier hits (e.g. object storage round trip).
+    pub cold_latency: SimDuration,
+}
+
+impl Default for TieredConfig {
+    fn default() -> Self {
+        TieredConfig {
+            hot_capacity: 10_000,
+            hot_latency: SimDuration::from_micros(5),
+            cold_latency: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// Two-tier key-value store with FIFO spill and promote-on-read.
+#[derive(Debug)]
+pub struct TieredStore {
+    config: TieredConfig,
+    hot: HashMap<Key, Value>,
+    /// FIFO order of hot-tier residency, for spill victim selection.
+    hot_order: VecDeque<Key>,
+    cold: HashMap<Key, Value>,
+    hot_hits: u64,
+    cold_hits: u64,
+    spills: u64,
+}
+
+impl TieredStore {
+    /// Empty store.
+    pub fn new(config: TieredConfig) -> Self {
+        assert!(config.hot_capacity > 0);
+        TieredStore {
+            config,
+            hot: HashMap::new(),
+            hot_order: VecDeque::new(),
+            cold: HashMap::new(),
+            hot_hits: 0,
+            cold_hits: 0,
+            spills: 0,
+        }
+    }
+
+    /// Write a value (always lands hot; may spill another key cold).
+    /// Returns the latency charged.
+    pub fn put(&mut self, key: &str, value: Value) -> SimDuration {
+        self.cold.remove(key);
+        if self.hot.insert(key.to_owned(), value).is_none() {
+            self.hot_order.push_back(key.to_owned());
+            self.maybe_spill();
+        }
+        self.config.hot_latency
+    }
+
+    /// Read a value with the latency its tier charges. Cold hits are
+    /// promoted to the hot tier.
+    pub fn get(&mut self, key: &str) -> (Option<Value>, SimDuration) {
+        if let Some(v) = self.hot.get(key) {
+            self.hot_hits += 1;
+            return (Some(v.clone()), self.config.hot_latency);
+        }
+        if let Some(v) = self.cold.remove(key) {
+            self.cold_hits += 1;
+            self.hot.insert(key.to_owned(), v.clone());
+            self.hot_order.push_back(key.to_owned());
+            self.maybe_spill();
+            return (Some(v), self.config.cold_latency);
+        }
+        (None, self.config.hot_latency)
+    }
+
+    /// Remove a key from both tiers.
+    pub fn remove(&mut self, key: &str) -> bool {
+        let was_hot = self.hot.remove(key).is_some();
+        if was_hot {
+            self.hot_order.retain(|k| k != key);
+        }
+        self.cold.remove(key).is_some() || was_hot
+    }
+
+    fn maybe_spill(&mut self) {
+        while self.hot.len() > self.config.hot_capacity {
+            let Some(victim) = self.hot_order.pop_front() else {
+                break;
+            };
+            if let Some(v) = self.hot.remove(&victim) {
+                self.cold.insert(victim, v);
+                self.spills += 1;
+            }
+        }
+    }
+
+    /// Entries currently resident hot.
+    pub fn hot_len(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Entries currently resident cold.
+    pub fn cold_len(&self) -> usize {
+        self.cold.len()
+    }
+
+    /// Hot-tier read hits.
+    pub fn hot_hits(&self) -> u64 {
+        self.hot_hits
+    }
+
+    /// Cold-tier read hits.
+    pub fn cold_hits(&self) -> u64 {
+        self.cold_hits
+    }
+
+    /// Number of hot→cold spills performed.
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+
+    /// Total entries across tiers.
+    pub fn len(&self) -> usize {
+        self.hot.len() + self.cold.len()
+    }
+
+    /// True when both tiers are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(cap: usize) -> TieredStore {
+        TieredStore::new(TieredConfig {
+            hot_capacity: cap,
+            ..TieredConfig::default()
+        })
+    }
+
+    #[test]
+    fn within_capacity_everything_is_hot() {
+        let mut s = store(4);
+        for i in 0..4 {
+            s.put(&format!("k{i}"), Value::Int(i));
+        }
+        assert_eq!(s.hot_len(), 4);
+        assert_eq!(s.cold_len(), 0);
+        let (v, lat) = s.get("k0");
+        assert_eq!(v, Some(Value::Int(0)));
+        assert_eq!(lat, SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn overflow_spills_fifo_to_cold() {
+        let mut s = store(2);
+        s.put("a", Value::Int(1));
+        s.put("b", Value::Int(2));
+        s.put("c", Value::Int(3));
+        assert_eq!(s.hot_len(), 2);
+        assert_eq!(s.cold_len(), 1);
+        assert_eq!(s.spills(), 1);
+        // "a" was first in, so it spilled; reading it costs cold latency.
+        let (v, lat) = s.get("a");
+        assert_eq!(v, Some(Value::Int(1)));
+        assert_eq!(lat, SimDuration::from_millis(10));
+        // ...and promoted it back hot (possibly spilling another).
+        assert_eq!(s.cold_hits(), 1);
+        let (_, lat2) = s.get("a");
+        assert_eq!(lat2, SimDuration::from_micros(5), "promoted");
+    }
+
+    #[test]
+    fn missing_key_costs_hot_probe() {
+        let mut s = store(2);
+        let (v, lat) = s.get("nope");
+        assert_eq!(v, None);
+        assert_eq!(lat, SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn overwrite_does_not_duplicate() {
+        let mut s = store(2);
+        s.put("a", Value::Int(1));
+        s.put("a", Value::Int(2));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get("a").0, Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn put_after_spill_revives_hot() {
+        let mut s = store(1);
+        s.put("a", Value::Int(1));
+        s.put("b", Value::Int(2)); // spills a
+        s.put("a", Value::Int(3)); // rewrite a hot, spills b
+        assert_eq!(s.get("a").1, SimDuration::from_micros(5));
+        assert_eq!(s.get("a").0, Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn remove_clears_both_tiers() {
+        let mut s = store(1);
+        s.put("a", Value::Int(1));
+        s.put("b", Value::Int(2));
+        assert!(s.remove("a"), "cold remove");
+        assert!(s.remove("b"), "hot remove");
+        assert!(!s.remove("a"));
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Core data types shared across the storage engine.
+
+use std::fmt;
+
+/// A database key. Applications build composite keys by convention, e.g.
+/// `"stock/3/17"` for warehouse 3, item 17.
+pub type Key = String;
+
+/// A dynamically typed database value.
+///
+/// A small closed set of variants keeps values comparable and hashable,
+/// which the transaction checkers rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Signed integer (counters, quantities, money in cents).
+    Int(i64),
+    /// UTF-8 text.
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+    /// A list of values (order lines, history records).
+    List(Vec<Value>),
+    /// Explicit absence distinct from "key not present".
+    Null,
+}
+
+impl Value {
+    /// The integer inside, panicking on other variants.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected Int, got {other:?}"),
+        }
+    }
+
+    /// The string inside, panicking on other variants.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(v) => v,
+            other => panic!("expected Str, got {other:?}"),
+        }
+    }
+
+    /// The bool inside, panicking on other variants.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(v) => *v,
+            other => panic!("expected Bool, got {other:?}"),
+        }
+    }
+
+    /// The list inside, panicking on other variants.
+    pub fn as_list(&self) -> &[Value] {
+        match self {
+            Value::List(v) => v,
+            other => panic!("expected List, got {other:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Identifies a transaction within one database engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId(pub u64);
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{}", self.0)
+    }
+}
+
+/// A commit timestamp; also the engine's logical clock.
+pub type Timestamp = u64;
+
+/// The isolation levels the engine supports (§4.2 of the paper: the
+/// developer-facing consistency knob of the data tier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsolationLevel {
+    /// MVCC read committed: each read sees the latest committed version at
+    /// statement time. Permits non-repeatable reads, lost updates via
+    /// read-modify-write, and write skew.
+    ReadCommitted,
+    /// Snapshot isolation: reads from a begin-time snapshot, and the first
+    /// committer wins on write-write conflicts. Permits write skew.
+    SnapshotIsolation,
+    /// Strict two-phase locking: shared/exclusive locks held to commit.
+    /// Serializable; subject to deadlocks (resolved by aborting a waiter).
+    Serializable,
+}
+
+impl fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IsolationLevel::ReadCommitted => "read-committed",
+            IsolationLevel::SnapshotIsolation => "snapshot-isolation",
+            IsolationLevel::Serializable => "serializable",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a transaction was aborted by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// Deadlock detected; this transaction was chosen as the victim.
+    Deadlock,
+    /// Snapshot-isolation first-committer-wins conflict.
+    WriteConflict,
+    /// The application requested the abort.
+    Requested,
+    /// A stored procedure signalled a logic failure (e.g. constraint).
+    LogicFailure,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortReason::Deadlock => "deadlock",
+            AbortReason::WriteConflict => "write-conflict",
+            AbortReason::Requested => "requested",
+            AbortReason::LogicFailure => "logic-failure",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(5).as_int(), 5);
+        assert_eq!(Value::from("x").as_str(), "x");
+        assert!(Value::Bool(true).as_bool());
+        assert_eq!(
+            Value::List(vec![Value::Int(1)]).as_list(),
+            &[Value::Int(1)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn wrong_accessor_panics() {
+        Value::Str("no".into()).as_int();
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(String::from("s")), Value::Str("s".into()));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(TxId(3).to_string(), "tx3");
+        assert_eq!(IsolationLevel::Serializable.to_string(), "serializable");
+        assert_eq!(AbortReason::Deadlock.to_string(), "deadlock");
+    }
+}

@@ -1,0 +1,244 @@
+//! Causal consistency primitives (§5.2, Antipode \[26\] direction).
+//!
+//! Vector clocks order events causally; a [`CausalMailbox`] delays
+//! delivery of a message until all of its causal dependencies have been
+//! delivered — enforcing cross-service causal consistency at the message
+//! layer, the way recent work proposes for microservice architectures.
+
+use std::collections::HashMap;
+
+/// A vector clock over process indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    entries: HashMap<usize, u64>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// This process's tick: increment own component, return the clock.
+    pub fn tick(&mut self, me: usize) -> VectorClock {
+        *self.entries.entry(me).or_insert(0) += 1;
+        self.clone()
+    }
+
+    /// Merge another clock in (pointwise max).
+    pub fn merge(&mut self, other: &VectorClock) {
+        for (&proc_index, &count) in &other.entries {
+            let entry = self.entries.entry(proc_index).or_insert(0);
+            *entry = (*entry).max(count);
+        }
+    }
+
+    /// Component read.
+    pub fn get(&self, proc_index: usize) -> u64 {
+        self.entries.get(&proc_index).copied().unwrap_or(0)
+    }
+
+    /// `self ≤ other` pointwise (self happened-before-or-equals other).
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.entries.iter().all(|(&p, &c)| other.get(p) >= c)
+    }
+
+    /// Strict happened-before.
+    pub fn lt(&self, other: &VectorClock) -> bool {
+        self.leq(other) && self != other
+    }
+
+    /// Neither ordered: concurrent events.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+}
+
+/// A message stamped with its causal dependencies.
+#[derive(Debug, Clone)]
+pub struct CausalMessage<T> {
+    /// Sender process index.
+    pub sender: usize,
+    /// The sender's clock *after* sending (its own component counts this
+    /// message; other components are dependencies).
+    pub clock: VectorClock,
+    /// The payload.
+    pub body: T,
+}
+
+/// Delivery buffer enforcing causal order at a receiver.
+#[derive(Debug)]
+pub struct CausalMailbox<T> {
+    me: usize,
+    delivered: VectorClock,
+    buffer: Vec<CausalMessage<T>>,
+    delayed: u64,
+}
+
+impl<T> CausalMailbox<T> {
+    /// A mailbox for process `me`.
+    pub fn new(me: usize) -> Self {
+        CausalMailbox {
+            me,
+            delivered: VectorClock::new(),
+            buffer: Vec::new(),
+            delayed: 0,
+        }
+    }
+
+    /// The receiver's view of delivered history.
+    pub fn clock(&self) -> &VectorClock {
+        &self.delivered
+    }
+
+    fn deliverable(delivered: &VectorClock, msg: &CausalMessage<T>) -> bool {
+        // Next-in-sequence from the sender, with all other deps satisfied.
+        if msg.clock.get(msg.sender) != delivered.get(msg.sender) + 1 {
+            return false;
+        }
+        msg.clock
+            .entries
+            .iter()
+            .all(|(&p, &c)| p == msg.sender || delivered.get(p) >= c)
+    }
+
+    /// Offer a message; returns every message now deliverable, in causal
+    /// order (the new one may be buffered for later).
+    pub fn offer(&mut self, msg: CausalMessage<T>) -> Vec<CausalMessage<T>> {
+        self.buffer.push(msg);
+        let mut out = Vec::new();
+        loop {
+            let Some(pos) = self
+                .buffer
+                .iter()
+                .position(|m| Self::deliverable(&self.delivered, m))
+            else {
+                break;
+            };
+            let msg = self.buffer.remove(pos);
+            self.delivered.merge(&msg.clock);
+            out.push(msg);
+        }
+        if out.is_empty() {
+            self.delayed += 1;
+        }
+        out
+    }
+
+    /// Messages currently held back.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// How many offers had to wait for dependencies at least once.
+    pub fn delay_count(&self) -> u64 {
+        self.delayed
+    }
+
+    /// The process index this mailbox belongs to.
+    pub fn me(&self) -> usize {
+        self.me
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_ordering() {
+        let mut a = VectorClock::new();
+        let mut b = VectorClock::new();
+        let a1 = a.tick(0);
+        b.merge(&a1);
+        let b1 = b.tick(1);
+        assert!(a1.lt(&b1));
+        assert!(!b1.lt(&a1));
+        let c1 = VectorClock::new().tick(2);
+        assert!(a1.concurrent(&c1));
+    }
+
+    #[test]
+    fn in_order_messages_deliver_immediately() {
+        let mut mailbox: CausalMailbox<&str> = CausalMailbox::new(9);
+        let mut sender = VectorClock::new();
+        let m1 = CausalMessage {
+            sender: 0,
+            clock: sender.tick(0),
+            body: "first",
+        };
+        let m2 = CausalMessage {
+            sender: 0,
+            clock: sender.tick(0),
+            body: "second",
+        };
+        assert_eq!(mailbox.offer(m1).len(), 1);
+        assert_eq!(mailbox.offer(m2).len(), 1);
+        assert_eq!(mailbox.buffered(), 0);
+    }
+
+    #[test]
+    fn out_of_order_buffers_until_dependency() {
+        // The "post then notify" anomaly: notification (depends on post)
+        // arrives first and must wait.
+        let mut post_service = VectorClock::new();
+        let post = CausalMessage {
+            sender: 0,
+            clock: post_service.tick(0),
+            body: "post",
+        };
+        // Notification service saw the post, then sent its notification.
+        let mut notify_service = VectorClock::new();
+        notify_service.merge(&post.clock);
+        let notification = CausalMessage {
+            sender: 1,
+            clock: notify_service.tick(1),
+            body: "notification",
+        };
+        let mut mailbox: CausalMailbox<&str> = CausalMailbox::new(9);
+        // Notification first: buffered.
+        assert!(mailbox.offer(notification).is_empty());
+        assert_eq!(mailbox.buffered(), 1);
+        assert_eq!(mailbox.delay_count(), 1);
+        // Post arrives: both deliver, post first.
+        let delivered = mailbox.offer(post);
+        assert_eq!(
+            delivered.iter().map(|m| m.body).collect::<Vec<_>>(),
+            vec!["post", "notification"]
+        );
+        assert_eq!(mailbox.buffered(), 0);
+    }
+
+    #[test]
+    fn independent_senders_do_not_block_each_other() {
+        let mut mailbox: CausalMailbox<u32> = CausalMailbox::new(9);
+        let mut s0 = VectorClock::new();
+        let mut s1 = VectorClock::new();
+        let a = CausalMessage {
+            sender: 0,
+            clock: s0.tick(0),
+            body: 1,
+        };
+        let b = CausalMessage {
+            sender: 1,
+            clock: s1.tick(1),
+            body: 2,
+        };
+        assert_eq!(mailbox.offer(b).len(), 1);
+        assert_eq!(mailbox.offer(a).len(), 1);
+    }
+
+    #[test]
+    fn gap_in_sender_sequence_blocks() {
+        let mut s0 = VectorClock::new();
+        let _m1 = s0.tick(0);
+        let m2 = CausalMessage {
+            sender: 0,
+            clock: s0.tick(0),
+            body: "second",
+        };
+        let mut mailbox: CausalMailbox<&str> = CausalMailbox::new(3);
+        assert!(mailbox.offer(m2).is_empty(), "m1 missing");
+        assert_eq!(mailbox.buffered(), 1);
+    }
+}

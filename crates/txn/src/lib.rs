@@ -1,0 +1,43 @@
+//! # `tca-txn` — cross-component transactions and correctness checkers
+//!
+//! The consistency mechanisms of §4.2 and §5.2, each implemented over the
+//! substrates so their costs and failure modes are directly comparable:
+//!
+//! - [`saga`] — orchestrated sagas with compensations and a durable
+//!   journal (atomicity without isolation; the BASE status quo).
+//! - [`twopc`] — two-phase commit with presumed abort, participant
+//!   execute-timeouts, and the blocking in-doubt window on coordinator
+//!   failure.
+//! - [`actor_txn`] — Orleans-style lock-based actor transactions layered
+//!   on the unmodified actor runtime.
+//! - [`deterministic`] — Calvin/Styx-style sequencer-ordered deterministic
+//!   transactions: serializable without locks or aborts.
+//! - [`checker`] — serializability (DSG cycle detection), exactly-once,
+//!   and atomicity audits over what the system *actually did*.
+//! - [`causal`] — vector clocks and causal delivery (Antipode direction).
+
+#![forbid(unsafe_code)]
+
+pub mod actor_txn;
+pub mod causal;
+pub mod checker;
+pub mod deterministic;
+pub mod saga;
+pub mod twopc;
+
+pub use actor_txn::{
+    encode_plan, transactional_bank_registry, transfer_plan, TransactionalActor, TxnCoordinator,
+    TxnOp,
+};
+pub use causal::{CausalMailbox, CausalMessage, VectorClock};
+pub use checker::{
+    check_serializability, AtomicityAudit, EffectAudit, SerializabilityVerdict,
+};
+pub use deterministic::{
+    deploy_deterministic, transfer_registry, DetRegistry, DetShard, Sequencer, SequencerConfig,
+    SubmitTxn, TxnOutcome,
+};
+pub use saga::{SagaDef, SagaOrchestrator, SagaOutcome, SagaStep, StartSaga};
+pub use twopc::{
+    DtxOutcome, ParticipantConfig, StartDtx, TwoPcCoordinator, TwoPcParticipant,
+};

@@ -1,0 +1,699 @@
+//! Two-phase commit across service databases (§4.2, the protocol
+//! microservices avoid — implemented here so its costs are measurable).
+//!
+//! Participants execute their local work in an open serializable
+//! transaction (locks held), vote in the prepare phase, and apply the
+//! coordinator's decision. The coordinator journals its commit decision
+//! durably *before* releasing it (presumed abort). The blocking behaviour
+//! the paper highlights is real here: a participant that voted YES holds
+//! its locks until the coordinator — and only the coordinator — decides.
+//! Crash the coordinator after prepare and watch everything queue behind
+//! those locks (experiment E3).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use tca_messaging::rpc::{reply_to, RpcRequest};
+use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration};
+use tca_storage::{
+    proc::run_proc_open, DurableCell, DurableLog, Engine, EngineConfig, ProcOutcome,
+    ProcRegistry, TxId, Value,
+};
+
+// ---------------------------------------------------------------------------
+// Wire messages
+// ---------------------------------------------------------------------------
+
+/// Execute phase: run `proc` locally under txid, hold locks.
+#[derive(Debug, Clone)]
+pub struct ExecuteReq {
+    /// Global transaction id.
+    pub txid: u64,
+    /// Branch index within the transaction.
+    pub branch: u32,
+    /// Local stored procedure.
+    pub proc: String,
+    /// Arguments.
+    pub args: Vec<Value>,
+}
+
+/// Execute result.
+#[derive(Debug, Clone)]
+pub struct ExecuteResp {
+    /// Global transaction id.
+    pub txid: u64,
+    /// Branch index within the transaction.
+    pub branch: u32,
+    /// Procedure results or the local failure.
+    pub result: Result<Vec<Value>, String>,
+}
+
+/// Prepare phase request.
+#[derive(Debug, Clone)]
+pub struct PrepareReq {
+    /// Global transaction id.
+    pub txid: u64,
+}
+
+/// The participant's vote.
+#[derive(Debug, Clone)]
+pub struct Vote {
+    /// Global transaction id.
+    pub txid: u64,
+    /// True = prepared (YES).
+    pub yes: bool,
+}
+
+/// Decision phase: commit or abort.
+#[derive(Debug, Clone)]
+pub struct DecisionReq {
+    /// Global transaction id.
+    pub txid: u64,
+    /// The decision.
+    pub commit: bool,
+}
+
+/// Decision acknowledged.
+#[derive(Debug, Clone)]
+pub struct DecisionAck {
+    /// Global transaction id.
+    pub txid: u64,
+}
+
+/// Client request (inside an [`RpcRequest`]): run a distributed
+/// transaction over `(participant, proc, args)` branches.
+#[derive(Debug, Clone)]
+pub struct StartDtx {
+    /// The transaction branches.
+    pub branches: Vec<(ProcessId, String, Vec<Value>)>,
+}
+
+/// Distributed transaction outcome (inside an `RpcReply`).
+#[derive(Debug, Clone)]
+pub struct DtxOutcome {
+    /// Committed?
+    pub committed: bool,
+    /// First error encountered, if aborted.
+    pub error: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Participant
+// ---------------------------------------------------------------------------
+
+/// Participant configuration.
+#[derive(Debug, Clone)]
+pub struct ParticipantConfig {
+    /// Abort an executed-but-unprepared transaction after this long
+    /// (the coordinator presumably died before prepare).
+    pub execute_timeout: SimDuration,
+    /// Commit/abort apply latency (fsync).
+    pub decide_latency: SimDuration,
+}
+
+impl Default for ParticipantConfig {
+    fn default() -> Self {
+        ParticipantConfig {
+            execute_timeout: SimDuration::from_millis(100),
+            decide_latency: SimDuration::from_micros(100),
+        }
+    }
+}
+
+const SWEEP_TAG: u64 = 0x2bc0_0001;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BranchState {
+    Executed,
+    Prepared,
+}
+
+struct Branch {
+    /// Open engine transactions of this global txn (a coordinator may
+    /// route several branches of one transaction to the same
+    /// participant).
+    txs: Vec<TxId>,
+    state: BranchState,
+    executed_at: tca_sim::SimTime,
+}
+
+/// A 2PC participant: local engine + protocol state machine.
+pub struct TwoPcParticipant {
+    name: String,
+    config: ParticipantConfig,
+    engine: Engine,
+    registry: Rc<ProcRegistry>,
+    branches: HashMap<u64, Branch>,
+    seed: Rc<Vec<(tca_storage::Key, Value)>>,
+    /// Durable set of prepared txids (survives participant crash; on
+    /// recovery these remain in doubt — simplified: we only journal,
+    /// full prepared-state recovery is out of scope).
+    prepared_log: Rc<RefCell<HashSet<u64>>>,
+}
+
+impl TwoPcParticipant {
+    /// Process factory.
+    pub fn factory(
+        name: impl Into<String>,
+        config: ParticipantConfig,
+        registry: ProcRegistry,
+    ) -> impl FnMut(&mut Boot) -> Box<dyn Process> {
+        Self::factory_seeded(name, config, registry, Vec::new())
+    }
+
+    /// Like [`TwoPcParticipant::factory`], with initial data loaded on
+    /// first boot (recovery reloads it from the WAL instead).
+    pub fn factory_seeded(
+        name: impl Into<String>,
+        config: ParticipantConfig,
+        registry: ProcRegistry,
+        seed: Vec<(tca_storage::Key, Value)>,
+    ) -> impl FnMut(&mut Boot) -> Box<dyn Process> {
+        let name = name.into();
+        let registry = Rc::new(registry);
+        let seed = Rc::new(seed);
+        move |boot| {
+            let wal = boot.disk.get("wal").unwrap_or_else(|| {
+                let log = DurableLog::new();
+                boot.disk.put("wal", log.clone());
+                log
+            });
+            let checkpoint = boot.disk.get("checkpoint").unwrap_or_else(|| {
+                let cell = DurableCell::new();
+                boot.disk.put("checkpoint", cell.clone());
+                cell
+            });
+            let prepared_log: Rc<RefCell<HashSet<u64>>> =
+                boot.disk.get("prepared").unwrap_or_else(|| {
+                    let log: Rc<RefCell<HashSet<u64>>> = Rc::new(RefCell::new(HashSet::new()));
+                    boot.disk.put("prepared", log.clone());
+                    log
+                });
+            let mut engine = if boot.restart {
+                Engine::recover(EngineConfig::default(), wal, checkpoint)
+            } else {
+                Engine::new(EngineConfig::default(), wal, checkpoint)
+            };
+            if !boot.restart {
+                for (key, value) in seed.iter() {
+                    engine.load(key, value.clone());
+                }
+            }
+            Box::new(TwoPcParticipant {
+                name: name.clone(),
+                config: config.clone(),
+                engine,
+                registry: Rc::clone(&registry),
+                branches: HashMap::new(),
+                seed: Rc::clone(&seed),
+                prepared_log,
+            })
+        }
+    }
+
+    /// Number of branches currently blocked in the prepared state.
+    fn in_doubt(&self) -> usize {
+        self.branches
+            .values()
+            .filter(|b| b.state == BranchState::Prepared)
+            .count()
+    }
+
+    /// Direct engine peek for tests.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The seed data this participant boots with.
+    pub fn seed_len(&self) -> usize {
+        self.seed.len()
+    }
+}
+
+impl Process for TwoPcParticipant {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer(self.config.execute_timeout, SWEEP_TAG);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, payload: Payload) {
+        if let Some(req) = payload.downcast_ref::<ExecuteReq>() {
+            let result = match run_proc_open(&mut self.engine, &self.registry, &req.proc, &req.args)
+            {
+                Ok((tx, values)) => {
+                    let now = ctx.now();
+                    self.branches
+                        .entry(req.txid)
+                        .or_insert_with(|| Branch {
+                            txs: Vec::new(),
+                            state: BranchState::Executed,
+                            executed_at: now,
+                        })
+                        .txs
+                        .push(tx);
+                    Ok(values)
+                }
+                Err(ProcOutcome::Retry) => Err("lock conflict".into()),
+                Err(ProcOutcome::Failed(e)) => Err(e),
+                Err(other) => Err(format!("{other:?}")),
+            };
+            ctx.metrics().incr(&format!("{}.executes", self.name), 1);
+            ctx.send(
+                from,
+                Payload::new(ExecuteResp {
+                    txid: req.txid,
+                    branch: req.branch,
+                    result,
+                }),
+            );
+        } else if let Some(req) = payload.downcast_ref::<PrepareReq>() {
+            let yes = match self.branches.get_mut(&req.txid) {
+                Some(branch) => {
+                    branch.state = BranchState::Prepared;
+                    self.prepared_log.borrow_mut().insert(req.txid);
+                    true
+                }
+                None => false, // timed out / unknown: vote NO
+            };
+            ctx.metrics().incr(&format!("{}.votes", self.name), 1);
+            ctx.send(from, Payload::new(Vote { txid: req.txid, yes }));
+        } else if let Some(req) = payload.downcast_ref::<DecisionReq>() {
+            if let Some(branch) = self.branches.remove(&req.txid) {
+                for tx in branch.txs {
+                    if req.commit {
+                        self.engine.commit(tx);
+                        ctx.metrics().incr(&format!("{}.commits", self.name), 1);
+                    } else {
+                        self.engine.abort(tx);
+                        ctx.metrics().incr(&format!("{}.rollbacks", self.name), 1);
+                    }
+                }
+            }
+            self.prepared_log.borrow_mut().remove(&req.txid);
+            ctx.send_after(
+                from,
+                Payload::new(DecisionAck { txid: req.txid }),
+                self.config.decide_latency,
+            );
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+        if tag != SWEEP_TAG {
+            return;
+        }
+        // Unilaterally abort executed-but-unprepared branches that have
+        // outlived the timeout. Prepared branches MUST keep blocking.
+        let now = ctx.now();
+        let timeout = self.config.execute_timeout;
+        let expired: Vec<u64> = self
+            .branches
+            .iter()
+            .filter(|(_, b)| {
+                b.state == BranchState::Executed && now.since(b.executed_at) > timeout
+            })
+            .map(|(&txid, _)| txid)
+            .collect();
+        for txid in expired {
+            if let Some(branch) = self.branches.remove(&txid) {
+                for tx in branch.txs {
+                    self.engine.abort(tx);
+                }
+                ctx.metrics()
+                    .incr(&format!("{}.timeout_aborts", self.name), 1);
+            }
+        }
+        ctx.metrics().incr(&format!("{}.in_doubt_gauge", self.name), 0);
+        let in_doubt = self.in_doubt() as u64;
+        if in_doubt > 0 {
+            ctx.metrics()
+                .incr(&format!("{}.in_doubt_ticks", self.name), in_doubt);
+        }
+        ctx.set_timer(timeout, SWEEP_TAG);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DtxPhase {
+    Executing,
+    Preparing,
+    Deciding,
+}
+
+struct Dtx {
+    branches: Vec<(ProcessId, String, Vec<Value>)>,
+    phase: DtxPhase,
+    pending: HashSet<ProcessId>,
+    pending_branches: HashSet<u32>,
+    commit: bool,
+    error: Option<String>,
+    caller: Option<(ProcessId, u64)>,
+    started: tca_sim::SimTime,
+}
+
+/// The 2PC coordinator process.
+pub struct TwoPcCoordinator {
+    txns: HashMap<u64, Dtx>,
+    next_txid: u64,
+    /// Durable decision log: txid → commit?
+    decisions: Rc<RefCell<HashMap<u64, bool>>>,
+}
+
+impl TwoPcCoordinator {
+    /// Process factory; the decision log survives coordinator crashes.
+    pub fn factory() -> impl FnMut(&mut Boot) -> Box<dyn Process> {
+        move |boot| {
+            let decisions: Rc<RefCell<HashMap<u64, bool>>> =
+                boot.disk.get("decisions").unwrap_or_else(|| {
+                    let log: Rc<RefCell<HashMap<u64, bool>>> =
+                        Rc::new(RefCell::new(HashMap::new()));
+                    boot.disk.put("decisions", log.clone());
+                    log
+                });
+            // A restarted coordinator has lost its volatile transaction
+            // table: undecided transactions are presumed aborted, but it
+            // no longer knows the participants. Real systems journal the
+            // participant list too; we journal decisions only and rely on
+            // participant execute-timeouts for unprepared branches —
+            // prepared branches of undecided txns stay blocked, which is
+            // precisely the blocking window the experiment shows.
+            Box::new(TwoPcCoordinator {
+                txns: HashMap::new(),
+                next_txid: (boot.now.as_nanos() << 8).max(1),
+                decisions,
+            })
+        }
+    }
+
+    fn decide(&mut self, ctx: &mut Ctx, txid: u64, commit: bool, error: Option<String>) {
+        let Some(dtx) = self.txns.get_mut(&txid) else {
+            return;
+        };
+        dtx.phase = DtxPhase::Deciding;
+        dtx.commit = commit;
+        if error.is_some() {
+            dtx.error = error;
+        }
+        // Presumed abort: only COMMIT decisions must be durable before
+        // release.
+        if commit {
+            self.decisions.borrow_mut().insert(txid, true);
+        }
+        let participants: HashSet<ProcessId> =
+            dtx.branches.iter().map(|(p, _, _)| *p).collect();
+        dtx.pending = participants.clone();
+        for participant in participants {
+            ctx.send(participant, Payload::new(DecisionReq { txid, commit }));
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx, txid: u64) {
+        let Some(dtx) = self.txns.remove(&txid) else {
+            return;
+        };
+        self.decisions.borrow_mut().remove(&txid);
+        let metric = if dtx.commit {
+            "dtx.committed"
+        } else {
+            "dtx.aborted"
+        };
+        ctx.metrics().incr(metric, 1);
+        let elapsed = ctx.now().since(dtx.started);
+        ctx.metrics().record("dtx.latency", elapsed);
+        if let Some((client, call_id)) = dtx.caller {
+            reply_to(
+                ctx,
+                client,
+                &RpcRequest {
+                    call_id,
+                    body: Payload::new(()),
+                },
+                Payload::new(DtxOutcome {
+                    committed: dtx.commit,
+                    error: dtx.error,
+                }),
+            );
+        }
+    }
+}
+
+impl Process for TwoPcCoordinator {
+    fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, payload: Payload) {
+        if let Some(request) = payload.downcast_ref::<RpcRequest>() {
+            let Some(start) = request.body.downcast_ref::<StartDtx>() else {
+                return;
+            };
+            self.next_txid += 1;
+            let txid = self.next_txid;
+            let participants: HashSet<ProcessId> =
+                start.branches.iter().map(|(p, _, _)| *p).collect();
+            let dtx = Dtx {
+                branches: start.branches.clone(),
+                phase: DtxPhase::Executing,
+                pending: participants,
+                pending_branches: (0..start.branches.len() as u32).collect(),
+                commit: false,
+                error: None,
+                caller: Some((from, request.call_id)),
+                started: ctx.now(),
+            };
+            for (branch, (participant, proc, args)) in dtx.branches.iter().enumerate() {
+                ctx.send(
+                    *participant,
+                    Payload::new(ExecuteReq {
+                        txid,
+                        branch: branch as u32,
+                        proc: proc.clone(),
+                        args: args.clone(),
+                    }),
+                );
+            }
+            self.txns.insert(txid, dtx);
+            ctx.metrics().incr("dtx.started", 1);
+        } else if let Some(resp) = payload.downcast_ref::<ExecuteResp>() {
+            let txid = resp.txid;
+            let Some(dtx) = self.txns.get_mut(&txid) else {
+                return;
+            };
+            if dtx.phase != DtxPhase::Executing {
+                return;
+            }
+            match &resp.result {
+                Ok(_) => {
+                    dtx.pending_branches.remove(&resp.branch);
+                    if dtx.pending_branches.is_empty() {
+                        // Phase 2: prepare everywhere.
+                        dtx.phase = DtxPhase::Preparing;
+                        let participants: HashSet<ProcessId> =
+                            dtx.branches.iter().map(|(p, _, _)| *p).collect();
+                        dtx.pending = participants.clone();
+                        for participant in participants {
+                            ctx.send(participant, Payload::new(PrepareReq { txid }));
+                        }
+                    }
+                }
+                Err(e) => {
+                    let e = e.clone();
+                    self.decide(ctx, txid, false, Some(e));
+                }
+            }
+        } else if let Some(vote) = payload.downcast_ref::<Vote>() {
+            let txid = vote.txid;
+            let Some(dtx) = self.txns.get_mut(&txid) else {
+                return;
+            };
+            if dtx.phase != DtxPhase::Preparing {
+                return;
+            }
+            if vote.yes {
+                dtx.pending.remove(&from);
+                if dtx.pending.is_empty() {
+                    self.decide(ctx, txid, true, None);
+                }
+            } else {
+                self.decide(ctx, txid, false, Some("vote no".into()));
+            }
+        } else if let Some(ack) = payload.downcast_ref::<DecisionAck>() {
+            let txid = ack.txid;
+            let Some(dtx) = self.txns.get_mut(&txid) else {
+                return;
+            };
+            dtx.pending.remove(&from);
+            if dtx.pending.is_empty() {
+                self.finish(ctx, txid);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tca_messaging::rpc::{RetryPolicy, RpcClient, RpcEvent};
+    use tca_sim::Sim;
+
+    fn account_registry() -> ProcRegistry {
+        ProcRegistry::new()
+            .with("debit", |tx, args| {
+                let key = args[0].as_str().to_owned();
+                let amount = args[1].as_int();
+                let balance = tx.get(&key).map(|v| v.as_int()).unwrap_or(100);
+                if balance < amount {
+                    return Err("insufficient".into());
+                }
+                tx.put(&key, Value::Int(balance - amount));
+                Ok(vec![Value::Int(balance - amount)])
+            })
+            .with("credit", |tx, args| {
+                let key = args[0].as_str().to_owned();
+                let amount = args[1].as_int();
+                let balance = tx.get(&key).map(|v| v.as_int()).unwrap_or(100);
+                tx.put(&key, Value::Int(balance + amount));
+                Ok(vec![Value::Int(balance + amount)])
+            })
+    }
+
+    struct Client {
+        coordinator: ProcessId,
+        plan: Vec<StartDtx>,
+        rpc: RpcClient,
+    }
+    impl Process for Client {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            for (i, start) in self.plan.clone().into_iter().enumerate() {
+                self.rpc.call(
+                    ctx,
+                    self.coordinator,
+                    Payload::new(start),
+                    RetryPolicy::at_most_once(SimDuration::from_secs(10)),
+                    i as u64,
+                );
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx, _from: ProcessId, payload: Payload) {
+            if let Some(RpcEvent::Reply { body, .. }) = self.rpc.on_message(ctx, &payload) {
+                let outcome = body.expect::<DtxOutcome>();
+                let metric = if outcome.committed {
+                    "client.committed"
+                } else {
+                    "client.aborted"
+                };
+                ctx.metrics().incr(metric, 1);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+            let _ = self.rpc.on_timer(ctx, tag);
+        }
+    }
+
+    fn world() -> (Sim, ProcessId, ProcessId, ProcessId) {
+        let mut sim = Sim::with_seed(111);
+        let n1 = sim.add_node();
+        let n2 = sim.add_node();
+        let n3 = sim.add_node();
+        let p1 = sim.spawn(
+            n1,
+            "bank-a",
+            TwoPcParticipant::factory("pa", ParticipantConfig::default(), account_registry()),
+        );
+        let p2 = sim.spawn(
+            n2,
+            "bank-b",
+            TwoPcParticipant::factory("pb", ParticipantConfig::default(), account_registry()),
+        );
+        let coordinator = sim.spawn(n3, "coordinator", TwoPcCoordinator::factory());
+        (sim, coordinator, p1, p2)
+    }
+
+    fn transfer(p1: ProcessId, p2: ProcessId, amount: i64) -> StartDtx {
+        StartDtx {
+            branches: vec![
+                (
+                    p1,
+                    "debit".into(),
+                    vec![Value::from("alice"), Value::Int(amount)],
+                ),
+                (
+                    p2,
+                    "credit".into(),
+                    vec![Value::from("bob"), Value::Int(amount)],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn distributed_commit_succeeds() {
+        let (mut sim, coordinator, p1, p2) = world();
+        let nc = sim.add_node();
+        sim.spawn(nc, "client", move |_| {
+            Box::new(Client {
+                coordinator,
+                plan: vec![transfer(p1, p2, 30)],
+                rpc: RpcClient::new(),
+            })
+        });
+        sim.run_for(SimDuration::from_millis(200));
+        assert_eq!(sim.metrics().counter("client.committed"), 1);
+        assert_eq!(sim.metrics().counter("pa.commits"), 1);
+        assert_eq!(sim.metrics().counter("pb.commits"), 1);
+    }
+
+    #[test]
+    fn branch_failure_aborts_everywhere() {
+        let (mut sim, coordinator, p1, p2) = world();
+        let nc = sim.add_node();
+        // Debit 1000 > default balance 100: bank-a votes fail at execute.
+        sim.spawn(nc, "client", move |_| {
+            Box::new(Client {
+                coordinator,
+                plan: vec![transfer(p1, p2, 1000)],
+                rpc: RpcClient::new(),
+            })
+        });
+        sim.run_for(SimDuration::from_millis(300));
+        assert_eq!(sim.metrics().counter("client.aborted"), 1);
+        assert_eq!(sim.metrics().counter("pa.commits"), 0);
+        assert_eq!(sim.metrics().counter("pb.commits"), 0);
+        // The successful branch (credit) was rolled back or timed out.
+        let undone = sim.metrics().counter("pb.rollbacks")
+            + sim.metrics().counter("pb.timeout_aborts");
+        assert!(undone >= 1, "credit branch undone");
+    }
+
+    #[test]
+    fn coordinator_crash_after_prepare_blocks_participants() {
+        let (mut sim, coordinator, p1, p2) = world();
+        let nc = sim.add_node();
+        sim.spawn(nc, "client", move |_| {
+            Box::new(Client {
+                coordinator,
+                plan: vec![transfer(p1, p2, 30)],
+                rpc: RpcClient::new(),
+            })
+        });
+        // Crash the coordinator in the middle of the protocol (after
+        // execute+prepare start, before decisions land) and never restart.
+        let coord_node = sim.node_of(coordinator);
+        sim.schedule_crash(tca_sim::SimTime::from_nanos(1_700_000), coord_node);
+        sim.run_for(SimDuration::from_secs(2));
+        // No commit or rollback decision ever arrives; prepared branches
+        // sit in-doubt, holding locks (observable via in_doubt ticks).
+        let commits = sim.metrics().counter("pa.commits") + sim.metrics().counter("pb.commits");
+        let in_doubt =
+            sim.metrics().counter("pa.in_doubt_ticks") + sim.metrics().counter("pb.in_doubt_ticks");
+        assert_eq!(commits, 0, "no decision without the coordinator");
+        assert!(
+            in_doubt > 0,
+            "prepared branches blocked in-doubt: {in_doubt}"
+        );
+    }
+}

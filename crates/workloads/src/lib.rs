@@ -1,0 +1,27 @@
+//! # `tca-workloads` — benchmark workloads and load generation (§5.3)
+//!
+//! The workloads the paper's community uses to evaluate cloud
+//! application runtimes, plus the load-generation machinery:
+//!
+//! - [`tpcc`] — TPC-C lite (NewOrder/Payment) with consistency checks.
+//! - [`marketplace`] — the Online Marketplace multi-service workload.
+//! - [`hotel`] — DeathStarBench-style hotel reservation mix.
+//! - [`ycsb`] — YCSB A–F with Zipfian skew.
+//! - [`rmw`] — interactive read-modify-write clients exposing isolation
+//!   anomalies (over-selling).
+//! - [`loadgen`] — closed-loop vs. open-loop (Poisson) generators.
+
+#![forbid(unsafe_code)]
+
+pub mod hotel;
+pub mod loadgen;
+pub mod marketplace;
+pub mod rmw;
+pub mod tpcc;
+pub mod ycsb;
+
+pub use loadgen::{
+    db_classifier, ClosedLoopConfig, ClosedLoopGen, OpenLoopConfig, OpenLoopGen, RequestFactory,
+    ResponseClassifier,
+};
+pub use rmw::{RmwClient, RmwConfig};

@@ -1,0 +1,405 @@
+//! Load generation: closed-loop vs. open-loop clients (§5.3, citing
+//! Schroeder et al. \[56\] — "modeling request arrivals should consider
+//! systems' design goals and the cloud serving model used").
+//!
+//! - **Closed loop**: `N` logical clients, each with at most one request
+//!   outstanding plus think time. Latency self-throttles throughput.
+//! - **Open loop**: Poisson arrivals at rate λ regardless of completions.
+//!   Beyond saturation, queues (and latencies) grow without bound — the
+//!   behaviour experiment E10 reproduces.
+//!
+//! Both drive any RPC-enveloped target (database `Call`s, sagas, 2PC,
+//! deterministic transactions, service endpoints) through a payload
+//! factory and classify replies with a pluggable function.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use tca_messaging::rpc::{RetryPolicy, RpcClient, RpcEvent};
+use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration, SimRng, SimTime};
+
+/// Builds one request payload (the body placed inside the RPC envelope).
+pub type RequestFactory = Rc<dyn Fn(&mut SimRng) -> Payload>;
+
+/// Classifies a reply payload as success (`true`) or failure.
+pub type ResponseClassifier = Rc<dyn Fn(&Payload) -> bool>;
+
+/// Standard classifier for database replies ([`tca_storage::DbReply`]).
+pub fn db_classifier() -> ResponseClassifier {
+    Rc::new(|payload| {
+        use tca_storage::{DbReply, DbResponse};
+        payload
+            .downcast_ref::<DbReply>()
+            .is_some_and(|r| matches!(r.resp, DbResponse::CallOk { .. } | DbResponse::Committed { .. }))
+    })
+}
+
+/// Closed-loop configuration.
+#[derive(Clone)]
+pub struct ClosedLoopConfig {
+    /// Number of logical clients (max outstanding requests).
+    pub clients: usize,
+    /// Think time between a completion and the next request.
+    pub think_time: SimDuration,
+    /// Metric prefix (`<prefix>.latency`, `<prefix>.ok`, `<prefix>.err`).
+    pub metric: String,
+    /// Stop issuing after this many total requests (None = run forever).
+    pub limit: Option<u64>,
+    /// Retry policy for each request.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClosedLoopConfig {
+    fn default() -> Self {
+        ClosedLoopConfig {
+            clients: 8,
+            think_time: SimDuration::ZERO,
+            metric: "load".into(),
+            limit: None,
+            retry: RetryPolicy::retrying(8, SimDuration::from_millis(50)),
+        }
+    }
+}
+
+const THINK_TAG: u64 = 0x10ad_0001;
+
+/// Closed-loop load generator process.
+pub struct ClosedLoopGen {
+    target: ProcessId,
+    factory: RequestFactory,
+    classify: ResponseClassifier,
+    config: ClosedLoopConfig,
+    rpc: RpcClient,
+    issued: u64,
+    started: HashMap<u64, SimTime>,
+    next_tag: u64,
+}
+
+impl ClosedLoopGen {
+    /// Process factory.
+    pub fn factory(
+        target: ProcessId,
+        request: RequestFactory,
+        classify: ResponseClassifier,
+        config: ClosedLoopConfig,
+    ) -> impl FnMut(&mut Boot) -> Box<dyn Process> {
+        move |_| {
+            Box::new(ClosedLoopGen {
+                target,
+                factory: Rc::clone(&request),
+                classify: Rc::clone(&classify),
+                config: config.clone(),
+                rpc: RpcClient::new(),
+                issued: 0,
+                started: HashMap::new(),
+                next_tag: 0,
+            })
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx) {
+        if let Some(limit) = self.config.limit {
+            if self.issued >= limit {
+                return;
+            }
+        }
+        self.issued += 1;
+        self.next_tag += 1;
+        let tag = self.next_tag;
+        let body = (self.factory)(ctx.rng());
+        self.started.insert(tag, ctx.now());
+        self.rpc.call(ctx, self.target, body, self.config.retry, tag);
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx, tag: u64, ok: bool) {
+        if let Some(start) = self.started.remove(&tag) {
+            let elapsed = ctx.now().since(start);
+            ctx.metrics()
+                .record(&format!("{}.latency", self.config.metric), elapsed);
+        }
+        let suffix = if ok { "ok" } else { "err" };
+        ctx.metrics()
+            .incr(&format!("{}.{suffix}", self.config.metric), 1);
+        if self.config.think_time == SimDuration::ZERO {
+            self.issue(ctx);
+        } else {
+            ctx.set_timer(self.config.think_time, THINK_TAG);
+        }
+        if self.config.limit == Some(self.issued) && self.started.is_empty() {
+            // All requests answered: stamp the completion time so
+            // harnesses compute throughput over actual runtime.
+            let done_us = ctx.now().as_nanos() / 1_000;
+            let key = format!("{}.done_at_us", self.config.metric);
+            if ctx.metrics().counter(&key) == 0 {
+                ctx.metrics().incr(&key, done_us);
+            }
+        }
+    }
+
+    fn absorb(&mut self, ctx: &mut Ctx, event: RpcEvent) {
+        match event {
+            RpcEvent::Reply { user_tag, body, .. } => {
+                let ok = (self.classify)(&body);
+                self.complete(ctx, user_tag, ok);
+            }
+            RpcEvent::Failed { user_tag, .. } => self.complete(ctx, user_tag, false),
+        }
+    }
+}
+
+impl Process for ClosedLoopGen {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        for _ in 0..self.config.clients {
+            self.issue(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, _from: ProcessId, payload: Payload) {
+        if let Some(event) = self.rpc.on_message(ctx, &payload) {
+            self.absorb(ctx, event);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+        if tag == THINK_TAG {
+            self.issue(ctx);
+            return;
+        }
+        if let Some(Some(event)) = self.rpc.on_timer(ctx, tag) {
+            self.absorb(ctx, event);
+        }
+    }
+}
+
+/// Open-loop configuration.
+#[derive(Clone)]
+pub struct OpenLoopConfig {
+    /// Mean inter-arrival time (Poisson process): rate = 1 / this.
+    pub mean_interarrival: SimDuration,
+    /// Metric prefix.
+    pub metric: String,
+    /// Stop issuing after this many requests (None = forever).
+    pub limit: Option<u64>,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            mean_interarrival: SimDuration::from_millis(1),
+            metric: "load".into(),
+            limit: None,
+        }
+    }
+}
+
+const ARRIVAL_TAG: u64 = 0x10ad_0002;
+
+/// Open-loop (Poisson) load generator process.
+pub struct OpenLoopGen {
+    target: ProcessId,
+    factory: RequestFactory,
+    classify: ResponseClassifier,
+    config: OpenLoopConfig,
+    rpc: RpcClient,
+    issued: u64,
+    started: HashMap<u64, SimTime>,
+    next_tag: u64,
+}
+
+impl OpenLoopGen {
+    /// Process factory.
+    pub fn factory(
+        target: ProcessId,
+        request: RequestFactory,
+        classify: ResponseClassifier,
+        config: OpenLoopConfig,
+    ) -> impl FnMut(&mut Boot) -> Box<dyn Process> {
+        move |_| {
+            Box::new(OpenLoopGen {
+                target,
+                factory: Rc::clone(&request),
+                classify: Rc::clone(&classify),
+                config: config.clone(),
+                rpc: RpcClient::new(),
+                issued: 0,
+                started: HashMap::new(),
+                next_tag: 0,
+            })
+        }
+    }
+
+    fn schedule_arrival(&mut self, ctx: &mut Ctx) {
+        let wait = ctx.rng().exponential(self.config.mean_interarrival);
+        ctx.set_timer(wait, ARRIVAL_TAG);
+    }
+
+    fn absorb(&mut self, ctx: &mut Ctx, event: RpcEvent) {
+        let (tag, ok) = match event {
+            RpcEvent::Reply { user_tag, body, .. } => (user_tag, (self.classify)(&body)),
+            RpcEvent::Failed { user_tag, .. } => (user_tag, false),
+        };
+        if let Some(start) = self.started.remove(&tag) {
+            let elapsed = ctx.now().since(start);
+            ctx.metrics()
+                .record(&format!("{}.latency", self.config.metric), elapsed);
+        }
+        let suffix = if ok { "ok" } else { "err" };
+        ctx.metrics()
+            .incr(&format!("{}.{suffix}", self.config.metric), 1);
+    }
+}
+
+impl Process for OpenLoopGen {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.schedule_arrival(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, _from: ProcessId, payload: Payload) {
+        if let Some(event) = self.rpc.on_message(ctx, &payload) {
+            self.absorb(ctx, event);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+        if tag == ARRIVAL_TAG {
+            if self.config.limit.is_none_or(|limit| self.issued < limit) {
+                self.issued += 1;
+                self.next_tag += 1;
+                let user_tag = self.next_tag;
+                let body = (self.factory)(ctx.rng());
+                self.started.insert(user_tag, ctx.now());
+                // Open loop: single attempt, generous timeout (we measure
+                // queueing, not retries).
+                self.rpc.call(
+                    ctx,
+                    self.target,
+                    body,
+                    RetryPolicy::at_most_once(SimDuration::from_secs(30)),
+                    user_tag,
+                );
+                self.schedule_arrival(ctx);
+            }
+            return;
+        }
+        if let Some(Some(event)) = self.rpc.on_timer(ctx, tag) {
+            self.absorb(ctx, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tca_sim::Sim;
+    use tca_storage::{DbMsg, DbRequest, DbServer, DbServerConfig, ProcRegistry, Value};
+
+    fn bump_db(sim: &mut Sim) -> ProcessId {
+        let node = sim.add_node();
+        sim.spawn(
+            node,
+            "db",
+            DbServer::factory(
+                "db",
+                DbServerConfig::default(),
+                ProcRegistry::new().with("bump", |tx, _| {
+                    let v = tx.get("counter").map(|v| v.as_int()).unwrap_or(0);
+                    tx.put("counter", Value::Int(v + 1));
+                    Ok(vec![])
+                }),
+            ),
+        )
+    }
+
+    fn bump_factory() -> RequestFactory {
+        Rc::new(|_rng| {
+            Payload::new(DbMsg {
+                token: 0,
+                req: DbRequest::Call {
+                    proc: "bump".into(),
+                    args: vec![],
+                },
+            })
+        })
+    }
+
+    #[test]
+    fn closed_loop_respects_limit_and_counts() {
+        let mut sim = Sim::with_seed(141);
+        let db = bump_db(&mut sim);
+        let node = sim.add_node();
+        sim.spawn(
+            node,
+            "gen",
+            ClosedLoopGen::factory(
+                db,
+                bump_factory(),
+                db_classifier(),
+                ClosedLoopConfig {
+                    clients: 4,
+                    limit: Some(40),
+                    metric: "cl".into(),
+                    ..ClosedLoopConfig::default()
+                },
+            ),
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.metrics().counter("cl.ok"), 40);
+        assert_eq!(sim.metrics().counter("db.calls_ok"), 40);
+        let hist = sim.metrics().histogram("cl.latency").expect("recorded");
+        assert_eq!(hist.count(), 40);
+    }
+
+    #[test]
+    fn closed_loop_think_time_throttles() {
+        // 1 client, 10ms think time, 100ms run ⇒ ≈ 10 requests max.
+        let mut sim = Sim::with_seed(142);
+        let db = bump_db(&mut sim);
+        let node = sim.add_node();
+        sim.spawn(
+            node,
+            "gen",
+            ClosedLoopGen::factory(
+                db,
+                bump_factory(),
+                db_classifier(),
+                ClosedLoopConfig {
+                    clients: 1,
+                    think_time: SimDuration::from_millis(10),
+                    metric: "cl".into(),
+                    ..ClosedLoopConfig::default()
+                },
+            ),
+        );
+        sim.run_for(SimDuration::from_millis(100));
+        let ok = sim.metrics().counter("cl.ok");
+        assert!((5..=12).contains(&ok), "throttled to ~10, got {ok}");
+    }
+
+    #[test]
+    fn open_loop_issues_at_configured_rate() {
+        // Mean inter-arrival 1ms over 1s ⇒ ≈ 1000 arrivals.
+        let mut sim = Sim::with_seed(143);
+        let db = bump_db(&mut sim);
+        let node = sim.add_node();
+        sim.spawn(
+            node,
+            "gen",
+            OpenLoopGen::factory(
+                db,
+                bump_factory(),
+                db_classifier(),
+                OpenLoopConfig {
+                    mean_interarrival: SimDuration::from_millis(1),
+                    metric: "ol".into(),
+                    limit: None,
+                },
+            ),
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        let ok = sim.metrics().counter("ol.ok");
+        assert!(
+            (800..=1200).contains(&ok),
+            "Poisson(1000) completions, got {ok}"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # `tca` — Transactional Cloud Applications in Rust
+//!
+//! Umbrella crate re-exporting the whole workspace: the deterministic
+//! simulation substrate, the storage and messaging layers, the four
+//! programming models (microservices, virtual actors, stateful functions,
+//! stateful dataflows), the cross-component transaction protocols, and the
+//! benchmark workloads.
+//!
+//! See `README.md` for a guided tour and `DESIGN.md` for the map from the
+//! paper's taxonomy to modules.
+
+#![forbid(unsafe_code)]
+
+pub use tca_core as core;
+pub use tca_messaging as messaging;
+pub use tca_models as models;
+pub use tca_sim as sim;
+pub use tca_storage as storage;
+pub use tca_txn as txn;
+pub use tca_workloads as workloads;

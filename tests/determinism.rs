@@ -1,0 +1,61 @@
+//! Cross-crate determinism: the same seed must reproduce every experiment
+//! bit-for-bit — the property everything else (debugging, CI, the
+//! experiment tables) rests on.
+
+use tca::core::cell::{run_cell, CellParams};
+use tca::core::taxonomy::{ProgrammingModel, TxnMechanism};
+
+fn params(seed: u64) -> CellParams {
+    CellParams {
+        seed,
+        transfers: 80,
+        clients: 4,
+        accounts: 32,
+        ..CellParams::default()
+    }
+}
+
+#[test]
+fn same_seed_same_cell_report() {
+    for (model, mechanism) in [
+        (ProgrammingModel::Microservices, TxnMechanism::Saga),
+        (ProgrammingModel::Microservices, TxnMechanism::TwoPhaseCommit),
+        (ProgrammingModel::VirtualActors, TxnMechanism::ActorTransactions),
+        (
+            ProgrammingModel::StatefulDataflow,
+            TxnMechanism::DeterministicOrdering,
+        ),
+    ] {
+        let a = run_cell(model, mechanism, &params(99));
+        let b = run_cell(model, mechanism, &params(99));
+        assert_eq!(a.committed, b.committed, "{model} x {mechanism}");
+        assert_eq!(a.failed, b.failed);
+        assert_eq!(a.sim_seconds, b.sim_seconds);
+        assert_eq!(a.p99_ms, b.p99_ms);
+    }
+}
+
+#[test]
+fn different_seeds_differ_somewhere() {
+    // Latency traces depend on sampled network latencies: two seeds
+    // should not produce identical timing (they could, but across four
+    // cells the probability is negligible).
+    let mut any_diff = false;
+    for seed in [1u64, 2] {
+        let report = run_cell(
+            ProgrammingModel::Microservices,
+            TxnMechanism::Saga,
+            &params(seed),
+        );
+        if report.sim_seconds != run_cell(
+            ProgrammingModel::Microservices,
+            TxnMechanism::Saga,
+            &params(seed + 100),
+        )
+        .sim_seconds
+        {
+            any_diff = true;
+        }
+    }
+    assert!(any_diff);
+}
