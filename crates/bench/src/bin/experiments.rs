@@ -21,22 +21,79 @@ fn main() {
     let selected: Vec<String> = args.iter().map(|s| s.to_lowercase()).collect();
     let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
 
-    let suite: Vec<(&str, &str, fn(u64) -> Vec<ex::Row>)> = vec![
-        ("f1", "F1: taxonomy cells (Figure 1, executed)", ex::f1_taxonomy),
-        ("e1", "E1: actor transactions penalty (§4.2)", ex::e1_actor_txn_penalty),
-        ("e2", "E2: delivery guarantees under loss (§3.2)", ex::e2_delivery_guarantees),
-        ("e3", "E3: saga vs 2PC + coordinator-crash blocking (§4.2)", ex::e3_saga_vs_2pc),
-        ("e4", "E4: shared DB vs DB-per-service (§3.3)", ex::e4_shared_vs_per_service_db),
-        ("e5", "E5: embedded cache vs external DB (§3.4)", ex::e5_cache_vs_external),
-        ("e6", "E6: checkpoint interval trade-off (§4.1)", ex::e6_checkpoint_interval),
-        ("e7", "E7: serializable mechanisms under contention (§3.1/[52])", ex::e7_serializable_mechanisms),
-        ("e8", "E8: consistency after failures per model (§4.1/§4.2)", ex::e8_failure_consistency),
+    type Experiment = (&'static str, &'static str, fn(u64) -> Vec<ex::Row>);
+    let suite: Vec<Experiment> = vec![
+        (
+            "f1",
+            "F1: taxonomy cells (Figure 1, executed)",
+            ex::f1_taxonomy,
+        ),
+        (
+            "e1",
+            "E1: actor transactions penalty (§4.2)",
+            ex::e1_actor_txn_penalty,
+        ),
+        (
+            "e2",
+            "E2: delivery guarantees under loss (§3.2)",
+            ex::e2_delivery_guarantees,
+        ),
+        (
+            "e3",
+            "E3: saga vs 2PC + coordinator-crash blocking (§4.2)",
+            ex::e3_saga_vs_2pc,
+        ),
+        (
+            "e4",
+            "E4: shared DB vs DB-per-service (§3.3)",
+            ex::e4_shared_vs_per_service_db,
+        ),
+        (
+            "e5",
+            "E5: embedded cache vs external DB (§3.4)",
+            ex::e5_cache_vs_external,
+        ),
+        (
+            "e6",
+            "E6: checkpoint interval trade-off (§4.1)",
+            ex::e6_checkpoint_interval,
+        ),
+        (
+            "e7",
+            "E7: serializable mechanisms under contention (§3.1/[52])",
+            ex::e7_serializable_mechanisms,
+        ),
+        (
+            "e8",
+            "E8: consistency after failures per model (§4.1/§4.2)",
+            ex::e8_failure_consistency,
+        ),
         ("e9", "E9: TPC-C lite mix (§5.3)", ex::e9_tpcc),
-        ("e10", "E10: closed vs open loop ([56])", ex::e10_closed_vs_open),
-        ("e11", "E11: isolation anomalies / over-selling ([38])", ex::e11_isolation_anomalies),
-        ("e12", "E12: virtual actor migration (§3.3/§4.1)", ex::e12_actor_migration),
-        ("e13", "E13: idempotency dedup burden (§3.2)", ex::e13_dedup_burden),
-        ("e14", "E14: entity locks vs write skew (§4.2)", ex::e14_entity_locks),
+        (
+            "e10",
+            "E10: closed vs open loop ([56])",
+            ex::e10_closed_vs_open,
+        ),
+        (
+            "e11",
+            "E11: isolation anomalies / over-selling ([38])",
+            ex::e11_isolation_anomalies,
+        ),
+        (
+            "e12",
+            "E12: virtual actor migration (§3.3/§4.1)",
+            ex::e12_actor_migration,
+        ),
+        (
+            "e13",
+            "E13: idempotency dedup burden (§3.2)",
+            ex::e13_dedup_burden,
+        ),
+        (
+            "e14",
+            "E14: entity locks vs write skew (§4.2)",
+            ex::e14_entity_locks,
+        ),
         ("e15", "E15: causal delivery (§5.2/[26])", ex::e15_causal),
     ];
 

@@ -14,13 +14,14 @@ use tca_messaging::delivery::{DedupReceiver, DeliveryGuarantee, ReliableSender};
 use tca_messaging::rpc::RetryPolicy;
 use tca_models::dataflow::{deploy, Event, JobBuilder, JobManagerConfig, SinkMode};
 use tca_models::microservice::{Endpoint, Microservice, ServiceCall, ServiceConfig, Step};
-use tca_models::statefun::{spawn_shards, shard_for, EntityId, StartOrchestration, StatefunApp};
+use tca_models::statefun::{shard_for, spawn_shards, EntityId, StartOrchestration, StatefunApp};
+use tca_sim::DetHashMap as HashMap;
 use tca_sim::{
     Ctx, NetworkConfig, Payload, Process, ProcessId, Sim, SimConfig, SimDuration, SimTime,
 };
 use tca_storage::{
-    CacheConfig, DbMsg, DbReply, DbRequest, DbResponse, DbServer, DbServerConfig,
-    IsolationLevel, ProcRegistry, TtlCache, Value,
+    CacheConfig, DbMsg, DbReply, DbRequest, DbResponse, DbServer, DbServerConfig, IsolationLevel,
+    ProcRegistry, TtlCache, Value,
 };
 use tca_txn::causal::{CausalMailbox, CausalMessage, VectorClock};
 use tca_workloads::loadgen::{
@@ -79,7 +80,13 @@ pub fn print_table(title: &str, rows: &[Row]) {
         }
         let columns = table.iter().map(Vec::len).max().unwrap_or(0);
         let widths: Vec<usize> = (0..columns)
-            .map(|c| table.iter().map(|r| r.get(c).map_or(0, String::len)).max().unwrap_or(0))
+            .map(|c| {
+                table
+                    .iter()
+                    .map(|r| r.get(c).map_or(0, String::len))
+                    .max()
+                    .unwrap_or(0)
+            })
             .collect();
         for line in &table {
             let rendered: Vec<String> = line
@@ -87,7 +94,7 @@ pub fn print_table(title: &str, rows: &[Row]) {
                 .zip(&widths)
                 .map(|(cell, w)| format!("{cell:<w$}"))
                 .collect();
-            println!("  {}", rendered.join("  ").trim_end().to_string());
+            println!("  {}", rendered.join("  ").trim_end());
         }
     }
 }
@@ -115,12 +122,24 @@ pub fn f1_taxonomy(seed: u64) -> Vec<Row> {
             let supported = matches!(
                 (model, mechanism),
                 (ProgrammingModel::Microservices, TxnMechanism::Saga)
-                    | (ProgrammingModel::Microservices, TxnMechanism::TwoPhaseCommit)
+                    | (
+                        ProgrammingModel::Microservices,
+                        TxnMechanism::TwoPhaseCommit
+                    )
                     | (ProgrammingModel::VirtualActors, TxnMechanism::None)
-                    | (ProgrammingModel::VirtualActors, TxnMechanism::ActorTransactions)
+                    | (
+                        ProgrammingModel::VirtualActors,
+                        TxnMechanism::ActorTransactions
+                    )
                     | (ProgrammingModel::StatefulFunctions, TxnMechanism::None)
-                    | (ProgrammingModel::StatefulFunctions, TxnMechanism::EntityLocks)
-                    | (ProgrammingModel::StatefulDataflow, TxnMechanism::DeterministicOrdering)
+                    | (
+                        ProgrammingModel::StatefulFunctions,
+                        TxnMechanism::EntityLocks
+                    )
+                    | (
+                        ProgrammingModel::StatefulDataflow,
+                        TxnMechanism::DeterministicOrdering
+                    )
             );
             if !supported {
                 continue;
@@ -135,9 +154,7 @@ pub fn f1_taxonomy(seed: u64) -> Vec<Row> {
                     .col("p99", ms(report.p99_ms))
                     .col(
                         "conserved",
-                        report
-                            .conserved
-                            .map_or("n/a".into(), |c| c.to_string()),
+                        report.conserved.map_or("n/a".into(), |c| c.to_string()),
                     ),
             );
         }
@@ -408,11 +425,19 @@ pub fn e4_shared_vs_per_service_db(seed: u64) -> Vec<Row> {
             commit_latency: SimDuration::from_micros(400),
             ..DbServerConfig::default()
         };
-        let db1 = sim.spawn(n_db1, "db1", DbServer::factory("db1", slow_config.clone(), registry()));
+        let db1 = sim.spawn(
+            n_db1,
+            "db1",
+            DbServer::factory("db1", slow_config.clone(), registry()),
+        );
         let quiet_db = if shared {
             db1
         } else {
-            sim.spawn(n_db2, "db2", DbServer::factory("db2", slow_config, registry()))
+            sim.spawn(
+                n_db2,
+                "db2",
+                DbServer::factory("db2", slow_config, registry()),
+            )
         };
         let quiet_factory: RequestFactory = Rc::new(|_| {
             Payload::new(DbMsg {
@@ -478,8 +503,14 @@ pub fn e4_shared_vs_per_service_db(seed: u64) -> Vec<Row> {
             .col("quiet p50", ms(split_p50))
             .col("quiet p99", ms(split_p99)),
         Row::new("isolation benefit")
-            .col("quiet p50", format!("{:.1}x", shared_p50 / split_p50.max(1e-9)))
-            .col("quiet p99", format!("{:.1}x", shared_p99 / split_p99.max(1e-9))),
+            .col(
+                "quiet p50",
+                format!("{:.1}x", shared_p50 / split_p50.max(1e-9)),
+            )
+            .col(
+                "quiet p99",
+                format!("{:.1}x", shared_p99 / split_p99.max(1e-9)),
+            ),
     ]
 }
 
@@ -509,7 +540,8 @@ impl CachedReader {
         if let Some(cache) = &mut self.cache {
             if let Some((_value, version)) = cache.get_versioned(&key, now) {
                 ctx.metrics().incr("e5.cache_hits", 1);
-                ctx.metrics().record("e5.read_latency", SimDuration::from_nanos(500));
+                ctx.metrics()
+                    .record("e5.read_latency", SimDuration::from_nanos(500));
                 ctx.metrics().incr("e5.read_version_sum", version);
                 ctx.metrics().incr("e5.reads", 1);
                 ctx.set_timer(SimDuration::from_micros(100), READ_TICK);
@@ -600,7 +632,9 @@ pub fn e5_cache_vs_external(seed: u64) -> Vec<Row> {
                 },
             }),
         );
-        sim.spawn(n_app, "writer", move |_| Box::new(CatalogWriter { db, version: 0 }));
+        sim.spawn(n_app, "writer", move |_| {
+            Box::new(CatalogWriter { db, version: 0 })
+        });
         sim.spawn(n_app, "reader", move |_| {
             Box::new(CachedReader {
                 db,
@@ -634,11 +668,17 @@ pub fn e5_cache_vs_external(seed: u64) -> Vec<Row> {
         Row::new(label)
             .col("reads", reads)
             .col("mean latency", ms(hist.mean().as_nanos() as f64 / 1e6))
-            .col("hit ratio", format!(
-                "{:.0}%",
-                100.0 * sim.metrics().counter("e5.cache_hits") as f64 / reads as f64
-            ))
-            .col("avg version lag", format!("{:.1}", latest as f64 - mean_version))
+            .col(
+                "hit ratio",
+                format!(
+                    "{:.0}%",
+                    100.0 * sim.metrics().counter("e5.cache_hits") as f64 / reads as f64
+                ),
+            )
+            .col(
+                "avg version lag",
+                format!("{:.1}", latest as f64 - mean_version),
+            )
             .col("staleness≈", ms(staleness_ms))
     };
     vec![run(false, 0), run(true, 1), run(true, 10), run(true, 50)]
@@ -697,7 +737,10 @@ pub fn e6_checkpoint_interval(seed: u64) -> Vec<Row> {
         rows.push(
             Row::new(format!("interval={interval_ms}ms"))
                 .col("snapshots", sim.metrics().counter("dataflow.snapshots"))
-                .col("checkpoints done", sim.metrics().counter("dataflow.checkpoints_completed"))
+                .col(
+                    "checkpoints done",
+                    sim.metrics().counter("dataflow.checkpoints_completed"),
+                )
                 .col("restores", sim.metrics().counter("dataflow.restores"))
                 .col("sunk", sunk)
                 .col("replay duplicates", sunk.saturating_sub(total)),
@@ -790,7 +833,7 @@ pub fn e8_failure_consistency(seed: u64) -> Vec<Row> {
                 req: DbRequest::Load { pairs },
             }),
         );
-        let mut endpoints = std::collections::HashMap::new();
+        let mut endpoints = HashMap::default();
         endpoints.insert(
             "transfer".to_owned(),
             Endpoint::new(
@@ -811,7 +854,10 @@ pub fn e8_failure_consistency(seed: u64) -> Vec<Row> {
             let to = (from + 1) % 16;
             Payload::new(ServiceCall {
                 endpoint: "transfer".into(),
-                args: vec![Value::Str(format!("acct/{from}")), Value::Str(format!("acct/{to}"))],
+                args: vec![
+                    Value::Str(format!("acct/{from}")),
+                    Value::Str(format!("acct/{to}")),
+                ],
             })
         });
         let classify = Rc::new(|payload: &Payload| {
@@ -901,7 +947,8 @@ pub fn e8_failure_consistency(seed: u64) -> Vec<Row> {
                 let to = ctx.input()[1].as_str().to_owned();
                 ctx.call_entity(EntityId::new("account", from), "debit", vec![Value::Int(1)])?
                     .ok();
-                let r = ctx.call_entity(EntityId::new("account", to), "credit", vec![Value::Int(1)])?;
+                let r =
+                    ctx.call_entity(EntityId::new("account", to), "credit", vec![Value::Int(1)])?;
                 Some(r)
             });
         let mut sim = Sim::with_seed(seed);
@@ -982,7 +1029,7 @@ pub fn e8_failure_consistency(seed: u64) -> Vec<Row> {
                         sum += v;
                         break;
                     }
-                } 
+                }
             }
             // Untouched accounts never materialize; they hold the initial
             // 1000 implicitly.
@@ -1034,7 +1081,7 @@ pub fn e9_tpcc(seed: u64) -> Vec<Row> {
             }),
         );
         let target = if via_service {
-            let mut endpoints = std::collections::HashMap::new();
+            let mut endpoints = HashMap::default();
             for proc in ["new_order", "payment"] {
                 let proc_name = proc.to_owned();
                 endpoints.insert(
@@ -1127,7 +1174,10 @@ pub fn e9_tpcc(seed: u64) -> Vec<Row> {
                 } else {
                     sim.now().as_secs_f64()
                 };
-                format!("{:.0}", sim.metrics().counter("e9.ok") as f64 / seconds.max(1e-9))
+                format!(
+                    "{:.0}",
+                    sim.metrics().counter("e9.ok") as f64 / seconds.max(1e-9)
+                )
             })
             .col(
                 "p50",
@@ -1168,7 +1218,11 @@ pub fn e10_closed_vs_open(seed: u64) -> Vec<Row> {
         let mut sim = Sim::with_seed(seed);
         let n_db = sim.add_node();
         let n_load = sim.add_node();
-        let db = sim.spawn(n_db, "db", DbServer::factory("db", DbServerConfig::default(), registry()));
+        let db = sim.spawn(
+            n_db,
+            "db",
+            DbServer::factory("db", DbServerConfig::default(), registry()),
+        );
         sim.spawn(
             n_load,
             "load",
@@ -1197,7 +1251,11 @@ pub fn e10_closed_vs_open(seed: u64) -> Vec<Row> {
         let mut sim = Sim::with_seed(seed);
         let n_db = sim.add_node();
         let n_load = sim.add_node();
-        let db = sim.spawn(n_db, "db", DbServer::factory("db", DbServerConfig::default(), registry()));
+        let db = sim.spawn(
+            n_db,
+            "db",
+            DbServer::factory("db", DbServerConfig::default(), registry()),
+        );
         sim.spawn(
             n_load,
             "load",
@@ -1394,7 +1452,10 @@ pub fn e12_actor_migration(seed: u64) -> Vec<Row> {
         .col("ok calls", sim.metrics().counter("e12.ok"))
         .col("failed calls", sim.metrics().counter("e12.err"))
         .col("reroutes", sim.metrics().counter("actor.rerouted"))
-        .col("silos declared dead", sim.metrics().counter("dir.silo_declared_dead"))]
+        .col(
+            "silos declared dead",
+            sim.metrics().counter("dir.silo_declared_dead"),
+        )]
 }
 
 // ---------------------------------------------------------------------------
@@ -1540,11 +1601,15 @@ pub fn e14_entity_locks(seed: u64) -> Vec<Row> {
         // Invariant arithmetic: start 2000, each commit −300, floor 1500 ⇒
         // at most 1 commit is legal.
         let final_sum = 2000 - 300 * committed as i64;
-        Row::new(if locked { "with locks" } else { "without locks" })
-            .col("committed", committed)
-            .col("rejected", rejected)
-            .col("a+b", final_sum)
-            .col("invariant (≥1500)", final_sum >= 1500)
+        Row::new(if locked {
+            "with locks"
+        } else {
+            "without locks"
+        })
+        .col("committed", committed)
+        .col("rejected", rejected)
+        .col("a+b", final_sum)
+        .col("invariant (≥1500)", final_sum >= 1500)
     };
     vec![run(false), run(true)]
 }
@@ -1585,7 +1650,11 @@ pub fn e15_causal(seed: u64) -> Vec<Row> {
                     (post, notification)
                 };
                 let mut seen_post = false;
-                for m in mailbox.offer(first).into_iter().chain(mailbox.offer(second)) {
+                for m in mailbox
+                    .offer(first)
+                    .into_iter()
+                    .chain(mailbox.offer(second))
+                {
                     delivered += 1;
                     if m.body == "post" {
                         seen_post = true;

@@ -2,10 +2,13 @@
 //!
 //! One function per experiment in `DESIGN.md` (F1, E1–E15), each
 //! deterministic given a seed, plus the `experiments` binary that prints
-//! them and the Criterion benches mirroring the hot paths.
+//! them and the in-tree wall-clock bench harness (`harness` module, run
+//! via the `bench` binary) mirroring the hot paths.
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod harness;
 
 pub use experiments::{print_table, Row};
+pub use harness::{Bench, Report};

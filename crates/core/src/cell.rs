@@ -16,20 +16,17 @@ use tca_models::actor::{
     actor_state_registry, ActorCompletion, ActorId, ActorRouter, ActorSilo, Directory,
     DirectoryConfig, SiloConfig,
 };
-use tca_models::statefun::{
-    spawn_shards, shard_for, EntityId, StartOrchestration, StatefunApp,
-};
+use tca_models::statefun::{shard_for, spawn_shards, EntityId, StartOrchestration, StatefunApp};
 use tca_sim::{Ctx, Payload, Process, ProcessId, Sim, SimDuration, SimRng};
 use tca_storage::{DbMsg, DbRequest, DbServer, DbServerConfig, ProcRegistry, Value};
 use tca_txn::deterministic::{deploy_deterministic, SequencerConfig, SubmitTxn, TxnOutcome};
 use tca_txn::saga::{SagaDef, SagaOrchestrator, SagaOutcome, SagaStep, StartSaga};
-use tca_txn::twopc::{
-    DtxOutcome, ParticipantConfig, StartDtx, TwoPcCoordinator, TwoPcParticipant,
-};
+use tca_txn::twopc::{DtxOutcome, ParticipantConfig, StartDtx, TwoPcCoordinator, TwoPcParticipant};
 use tca_txn::{transactional_bank_registry, transfer_plan};
 use tca_workloads::loadgen::{ClosedLoopConfig, ClosedLoopGen, RequestFactory, ResponseClassifier};
 
 use crate::taxonomy::{ProgrammingModel, TxnMechanism};
+use tca_sim::DetHashMap as HashMap;
 
 /// Workload parameters for a cell run.
 #[derive(Debug, Clone)]
@@ -101,12 +98,7 @@ fn pick_pair(rng: &mut SimRng, params: &CellParams) -> (u64, u64) {
 
 const INITIAL_BALANCE: i64 = 1000;
 
-fn finish_report(
-    label: &str,
-    sim: &Sim,
-    metric: &str,
-    conserved: Option<bool>,
-) -> CellReport {
+fn finish_report(label: &str, sim: &Sim, metric: &str, conserved: Option<bool>) -> CellReport {
     let committed = sim.metrics().counter(&format!("{metric}.ok"));
     let failed = sim.metrics().counter(&format!("{metric}.err"));
     let done_at_us = sim.metrics().counter(&format!("{metric}.done_at_us"));
@@ -141,7 +133,11 @@ fn finish_report(
 /// Run a taxonomy cell. Panics on unsupported combinations — use
 /// [`crate::taxonomy::profile`] to enumerate the supported mechanisms of
 /// a model.
-pub fn run_cell(model: ProgrammingModel, mechanism: TxnMechanism, params: &CellParams) -> CellReport {
+pub fn run_cell(
+    model: ProgrammingModel,
+    mechanism: TxnMechanism,
+    params: &CellParams,
+) -> CellReport {
     match (model, mechanism) {
         (ProgrammingModel::Microservices, TxnMechanism::Saga) => run_saga_cell(params),
         (ProgrammingModel::Microservices, TxnMechanism::TwoPhaseCommit) => run_2pc_cell(params),
@@ -316,7 +312,7 @@ fn run_2pc_cell(params: &CellParams) -> CellReport {
     let p = params.clone();
     let factory: RequestFactory = Rc::new(move |rng| {
         let (from, to) = pick_pair(rng, &p);
-        let part_of = |i: u64| if i % 2 == 0 { pa } else { pb };
+        let part_of = |i: u64| if i.is_multiple_of(2) { pa } else { pb };
         Payload::new(StartDtx {
             branches: vec![
                 (
@@ -371,9 +367,7 @@ fn run_2pc_cell(params: &CellParams) -> CellReport {
             Some(sum)
         };
         match (sum(pa), sum(pb)) {
-            (Some(a), Some(b)) => {
-                Some(a + b == params.accounts as i64 * INITIAL_BALANCE)
-            }
+            (Some(a), Some(b)) => Some(a + b == params.accounts as i64 * INITIAL_BALANCE),
             _ => None,
         }
     };
@@ -391,14 +385,13 @@ struct ActorTransferDriver {
     issued: u64,
     outstanding: u64,
     /// tag → (started, is_second_leg, from, to)
-    started: std::collections::HashMap<u64, (tca_sim::SimTime, bool, u64, u64)>,
+    started: HashMap<u64, (tca_sim::SimTime, bool, u64, u64)>,
     next_tag: u64,
 }
 
 impl ActorTransferDriver {
     fn issue(&mut self, ctx: &mut Ctx) {
-        while self.outstanding < self.params.clients as u64 && self.issued < self.params.transfers
-        {
+        while self.outstanding < self.params.clients as u64 && self.issued < self.params.transfers {
             self.issued += 1;
             self.outstanding += 1;
             self.next_tag += 1;
@@ -512,7 +505,7 @@ fn run_actor_cell(params: &CellParams, transactional: bool) -> CellReport {
             transactional,
             issued: 0,
             outstanding: 0,
-            started: std::collections::HashMap::new(),
+            started: HashMap::default(),
             next_tag: 0,
         })
     });
@@ -597,14 +590,13 @@ struct StatefunDriver {
     params: CellParams,
     issued: u64,
     outstanding: u64,
-    started: std::collections::HashMap<u64, tca_sim::SimTime>,
+    started: HashMap<u64, tca_sim::SimTime>,
     next_tag: u64,
 }
 
 impl StatefunDriver {
     fn issue(&mut self, ctx: &mut Ctx) {
-        while self.outstanding < self.params.clients as u64 && self.issued < self.params.transfers
-        {
+        while self.outstanding < self.params.clients as u64 && self.issued < self.params.transfers {
             self.issued += 1;
             self.outstanding += 1;
             self.next_tag += 1;
@@ -685,7 +677,7 @@ fn run_statefun_cell(params: &CellParams, locked: bool) -> CellReport {
             params: p.clone(),
             issued: 0,
             outstanding: 0,
-            started: std::collections::HashMap::new(),
+            started: HashMap::default(),
             next_tag: 0,
         })
     });
@@ -704,13 +696,8 @@ fn run_deterministic_cell(params: &CellParams) -> CellReport {
     let mut sim = Sim::with_seed(params.seed);
     let nodes = sim.add_nodes(3);
     let registry = tca_txn::deterministic::transfer_registry();
-    let (sequencer, shards) = deploy_deterministic(
-        &mut sim,
-        &nodes,
-        &registry,
-        3,
-        SequencerConfig::default(),
-    );
+    let (sequencer, shards) =
+        deploy_deterministic(&mut sim, &nodes, &registry, 3, SequencerConfig::default());
     let nc = sim.add_node();
     let p = params.clone();
     let factory: RequestFactory = Rc::new(move |rng| {

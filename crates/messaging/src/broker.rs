@@ -143,7 +143,14 @@ impl Broker {
         }
     }
 
-    fn reply(&self, ctx: &mut Ctx, to: ProcessId, token: u64, resp: BrokerResponse, lat: SimDuration) {
+    fn reply(
+        &self,
+        ctx: &mut Ctx,
+        to: ProcessId,
+        token: u64,
+        resp: BrokerResponse,
+        lat: SimDuration,
+    ) {
         ctx.send_after(to, Payload::new(BrokerReply { token, resp }), lat);
     }
 }
@@ -155,7 +162,13 @@ impl Process for Broker {
         match msg.req.clone() {
             BrokerRequest::CreateTopic { topic, partitions } => {
                 self.store.create_topic(&topic, partitions);
-                self.reply(ctx, from, token, BrokerResponse::TopicCreated, self.config.publish_latency);
+                self.reply(
+                    ctx,
+                    from,
+                    token,
+                    BrokerResponse::TopicCreated,
+                    self.config.publish_latency,
+                );
             }
             BrokerRequest::Publish { topic, key, body } => {
                 ctx.metrics().incr("broker.published", 1);
@@ -197,7 +210,13 @@ impl Process for Broker {
                 offset,
             } => {
                 self.store.commit_offset(&group, &topic, partition, offset);
-                self.reply(ctx, from, token, BrokerResponse::OffsetCommitted, self.config.publish_latency);
+                self.reply(
+                    ctx,
+                    from,
+                    token,
+                    BrokerResponse::OffsetCommitted,
+                    self.config.publish_latency,
+                );
             }
         }
     }

@@ -14,7 +14,7 @@
 //! [`ReliableSender`] implements the sender half, [`DedupReceiver`] the
 //! receiver half. Experiment E2 measures their cost and correctness.
 
-use std::collections::HashMap;
+use tca_sim::DetHashMap as HashMap;
 
 use tca_sim::{Ctx, Payload, ProcessId, SimDuration};
 
@@ -87,7 +87,7 @@ impl ReliableSender {
             retry_delay,
             max_attempts,
             next_seq: 0,
-            unacked: HashMap::new(),
+            unacked: HashMap::default(),
             given_up: 0,
         }
     }
@@ -255,7 +255,10 @@ mod tests {
     }
 
     fn run(guarantee: DeliveryGuarantee, net: NetworkConfig, n: u32) -> (u64, u64) {
-        let mut sim = Sim::new(SimConfig { seed: 21, network: net });
+        let mut sim = Sim::new(SimConfig {
+            seed: 21,
+            network: net,
+        });
         let n0 = sim.add_node();
         let n1 = sim.add_node();
         let app = sim.spawn(n1, "counter", move |_| {

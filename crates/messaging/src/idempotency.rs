@@ -8,7 +8,8 @@
 //! packaged: it remembers which (sender, key) pairs were executed and
 //! caches their replies so duplicates are answered without re-execution.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use tca_sim::DetHashMap as HashMap;
 
 use tca_sim::{Payload, ProcessId};
 
@@ -37,7 +38,7 @@ impl IdempotencyStore {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
         IdempotencyStore {
-            seen: HashMap::new(),
+            seen: HashMap::default(),
             order: VecDeque::new(),
             capacity,
             hits: 0,

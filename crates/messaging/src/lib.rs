@@ -32,7 +32,6 @@ pub use outbox::{
     outbox_put, register_outbox_procs, OutboxRelay, OutboxRelayConfig, OUTBOX_PREFIX,
 };
 pub use queue::{
-    Leased, QueueConfig, QueueMsg, QueueReply, QueueRequest, QueueResponse, QueueServer,
-    QueueStore,
+    Leased, QueueConfig, QueueMsg, QueueReply, QueueRequest, QueueResponse, QueueServer, QueueStore,
 };
 pub use rpc::{reply_to, CallId, RetryPolicy, RpcClient, RpcEvent, RpcReply, RpcRequest};

@@ -6,8 +6,8 @@
 //! decoupled in time — the log retains records regardless of consumption.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
+use tca_sim::DetHashMap as HashMap;
 
 use tca_sim::Payload;
 
@@ -71,10 +71,13 @@ impl TopicStore {
     pub fn create_topic(&self, topic: &str, partitions: u32) {
         assert!(partitions > 0);
         let mut inner = self.inner.borrow_mut();
-        inner.topics.entry(topic.to_owned()).or_insert_with(|| Topic {
-            partitions: (0..partitions).map(|_| Partition::default()).collect(),
-            round_robin: 0,
-        });
+        inner
+            .topics
+            .entry(topic.to_owned())
+            .or_insert_with(|| Topic {
+                partitions: (0..partitions).map(|_| Partition::default()).collect(),
+                round_robin: 0,
+            });
     }
 
     /// True if the topic exists.
@@ -167,6 +170,7 @@ impl TopicStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tca_sim::DetHashSet as HashSet;
 
     fn body(v: u64) -> Payload {
         Payload::new(v)
@@ -189,21 +193,23 @@ mod tests {
     fn keyed_records_stick_to_one_partition() {
         let store = TopicStore::new();
         store.create_topic("t", 4);
-        let mut partitions = std::collections::HashSet::new();
+        let mut partitions = HashSet::default();
         for i in 0..10 {
-            let (p, _) = store
-                .append("t", Some("same-key".into()), body(i))
-                .unwrap();
+            let (p, _) = store.append("t", Some("same-key".into()), body(i)).unwrap();
             partitions.insert(p);
         }
-        assert_eq!(partitions.len(), 1, "per-key ordering requires one partition");
+        assert_eq!(
+            partitions.len(),
+            1,
+            "per-key ordering requires one partition"
+        );
     }
 
     #[test]
     fn unkeyed_records_round_robin() {
         let store = TopicStore::new();
         store.create_topic("t", 3);
-        let mut partitions = std::collections::HashSet::new();
+        let mut partitions = HashSet::default();
         for i in 0..9 {
             let (p, _) = store.append("t", None, body(i)).unwrap();
             partitions.insert(p);

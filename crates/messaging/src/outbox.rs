@@ -9,7 +9,7 @@
 //! delete republished the entry — the outbox gives *at-least-once*
 //! publication, with consumer-side dedup closing the loop to exactly-once.
 
-use std::collections::HashMap;
+use tca_sim::DetHashMap as HashMap;
 
 use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration};
 use tca_storage::{DbMsg, DbReply, DbRequest, DbResponse, ProcRegistry, TxHandle, Value};
@@ -64,7 +64,7 @@ impl OutboxRelay {
         move |_| {
             Box::new(OutboxRelay {
                 config: config.clone(),
-                pending: HashMap::new(),
+                pending: HashMap::default(),
                 next_token: 0,
             })
         }
@@ -265,6 +265,6 @@ mod tests {
             "every event reaches the broker at least once: {published}"
         );
         // All outbox entries eventually drained.
-        assert_eq!(sim.metrics().counter("outbox.deleted") >= 8, true);
+        assert!(sim.metrics().counter("outbox.deleted") >= 8);
     }
 }

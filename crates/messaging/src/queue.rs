@@ -8,8 +8,9 @@
 //! re-execution" burden comes from.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
+use tca_sim::DetHashMap as HashMap;
 
 use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration, SimTime};
 
@@ -159,12 +160,15 @@ impl QueueStore {
 
     fn with_queue<R>(&self, name: &str, f: impl FnOnce(&mut QueueInner) -> R) -> R {
         let mut inner = self.inner.borrow_mut();
-        let q = inner.queues.entry(name.to_owned()).or_insert_with(|| QueueInner {
-            next_id: 0,
-            ready: VecDeque::new(),
-            in_flight: HashMap::new(),
-            dead: Vec::new(),
-        });
+        let q = inner
+            .queues
+            .entry(name.to_owned())
+            .or_insert_with(|| QueueInner {
+                next_id: 0,
+                ready: VecDeque::new(),
+                in_flight: HashMap::default(),
+                dead: Vec::new(),
+            });
         f(q)
     }
 
@@ -215,22 +219,22 @@ impl Process for QueueServer {
             QueueRequest::Dequeue { queue } => {
                 let now = ctx.now();
                 let timeout = self.config.visibility_timeout;
-                self.store.with_queue(&queue, |q| {
-                    match q.ready.pop_front() {
+                self.store
+                    .with_queue(&queue, |q| match q.ready.pop_front() {
                         Some((id, attempts, body)) => {
                             let attempt = attempts + 1;
-                            q.in_flight.insert(id, (attempt, body.clone(), now + timeout));
+                            q.in_flight
+                                .insert(id, (attempt, body.clone(), now + timeout));
                             QueueResponse::Message(Leased { id, attempt, body })
                         }
                         None => QueueResponse::Empty,
-                    }
+                    })
+            }
+            QueueRequest::Ack { queue, id } => {
+                self.store.with_queue(&queue, |q| QueueResponse::Acked {
+                    accepted: q.in_flight.remove(&id).is_some(),
                 })
             }
-            QueueRequest::Ack { queue, id } => self.store.with_queue(&queue, |q| {
-                QueueResponse::Acked {
-                    accepted: q.in_flight.remove(&id).is_some(),
-                }
-            }),
         };
         ctx.send_after(from, Payload::new(QueueReply { token, resp }), lat);
     }
@@ -353,7 +357,12 @@ mod tests {
                 n: 10,
             })
         });
-        sim.spawn(nw, "worker", move |_| Box::new(Worker { queue_server: qs, ack }));
+        sim.spawn(nw, "worker", move |_| {
+            Box::new(Worker {
+                queue_server: qs,
+                ack,
+            })
+        });
         sim
     }
 

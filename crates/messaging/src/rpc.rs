@@ -9,7 +9,7 @@
 //! Timer tags in `0x5250_0000_0000_0000..` are reserved for RPC; hosts
 //! forward their `on_timer` calls to [`RpcClient::on_timer`] first.
 
-use std::collections::HashMap;
+use tca_sim::DetHashMap as HashMap;
 
 use tca_sim::{Ctx, Payload, ProcessId, SimDuration};
 
@@ -353,7 +353,11 @@ mod tests {
         );
         sim.run_for(SimDuration::from_millis(500));
         assert_eq!(sim.metrics().counter("caller.failures"), 1);
-        assert_eq!(sim.metrics().counter("rpc.retries"), 2, "3 attempts = 2 retries");
+        assert_eq!(
+            sim.metrics().counter("rpc.retries"),
+            2,
+            "3 attempts = 2 retries"
+        );
     }
 
     #[test]

@@ -16,9 +16,10 @@
 //! that is the status quo the paper critiques. Cross-actor transactional
 //! isolation is *not* provided here; `tca-txn::actor_txn` adds it.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
+use tca_sim::DetHashMap as HashMap;
 
 use tca_messaging::rpc::{reply_to, RetryPolicy, RpcClient, RpcEvent, RpcRequest};
 use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration, SimTime};
@@ -202,7 +203,7 @@ impl Directory {
         move |_| {
             Box::new(Directory {
                 config: config.clone(),
-                placements: HashMap::new(),
+                placements: HashMap::default(),
                 silos: Vec::new(),
                 round_robin: 0,
             })
@@ -335,10 +336,10 @@ impl ActorRouter {
         ActorRouter {
             directory,
             rpc: RpcClient::new(),
-            cache: HashMap::new(),
-            lookups: HashMap::new(),
+            cache: HashMap::default(),
+            lookups: HashMap::default(),
             next_lookup: 0,
-            in_flight: HashMap::new(),
+            in_flight: HashMap::default(),
             next_call: 0,
             policy: RetryPolicy::retrying(4, SimDuration::from_millis(8)),
             max_moves: 8,
@@ -610,9 +611,9 @@ impl ActorSilo {
             Box::new(ActorSilo {
                 config: config.clone(),
                 registry: Rc::clone(&registry),
-                activations: HashMap::new(),
+                activations: HashMap::default(),
                 router: ActorRouter::new(config.directory),
-                db_ops: HashMap::new(),
+                db_ops: HashMap::default(),
                 next_op: 0,
                 db_rpc: RpcClient::new(),
             })
@@ -722,7 +723,9 @@ impl ActorSilo {
                     if target == *id {
                         // Self-call would deadlock a non-reentrant actor;
                         // execute inline instead.
-                        let next = activation.logic.invoke(&mut activation.state, &method, &args);
+                        let next = activation
+                            .logic
+                            .invoke(&mut activation.state, &method, &args);
                         // Feed the (synchronous) result back via resume.
                         match next {
                             ActorStep::Done(r) => {
@@ -875,9 +878,7 @@ impl Process for ActorSilo {
                 RpcEvent::Reply { user_tag, body, .. } => {
                     self.handle_db_completion(ctx, user_tag, Some(body))
                 }
-                RpcEvent::Failed { user_tag, .. } => {
-                    self.handle_db_completion(ctx, user_tag, None)
-                }
+                RpcEvent::Failed { user_tag, .. } => self.handle_db_completion(ctx, user_tag, None),
             }
             return;
         }
@@ -941,9 +942,7 @@ impl Process for ActorSilo {
                 RpcEvent::Reply { user_tag, body, .. } => {
                     self.handle_db_completion(ctx, user_tag, Some(body))
                 }
-                RpcEvent::Failed { user_tag, .. } => {
-                    self.handle_db_completion(ctx, user_tag, None)
-                }
+                RpcEvent::Failed { user_tag, .. } => self.handle_db_completion(ctx, user_tag, None),
             }
         }
     }
@@ -1106,9 +1105,21 @@ mod tests {
             nc,
             directory,
             vec![
-                (ActorId::new("account", "a"), "deposit".into(), vec![Value::Int(50)]),
-                (ActorId::new("account", "a"), "withdraw".into(), vec![Value::Int(30)]),
-                (ActorId::new("account", "a"), "withdraw".into(), vec![Value::Int(1000)]),
+                (
+                    ActorId::new("account", "a"),
+                    "deposit".into(),
+                    vec![Value::Int(50)],
+                ),
+                (
+                    ActorId::new("account", "a"),
+                    "withdraw".into(),
+                    vec![Value::Int(30)],
+                ),
+                (
+                    ActorId::new("account", "a"),
+                    "withdraw".into(),
+                    vec![Value::Int(1000)],
+                ),
             ],
         );
         sim.run_for(SimDuration::from_millis(100));
@@ -1169,7 +1180,11 @@ mod tests {
             &mut sim,
             nc,
             directory,
-            vec![(ActorId::new("account", "a"), "deposit".into(), vec![Value::Int(50)])],
+            vec![(
+                ActorId::new("account", "a"),
+                "deposit".into(),
+                vec![Value::Int(50)],
+            )],
         );
         sim.run_for(SimDuration::from_millis(50));
         sim.crash_node(ns);
@@ -1180,7 +1195,11 @@ mod tests {
             &mut sim,
             nc,
             directory,
-            vec![(ActorId::new("account", "a"), "withdraw".into(), vec![Value::Int(120)])],
+            vec![(
+                ActorId::new("account", "a"),
+                "withdraw".into(),
+                vec![Value::Int(120)],
+            )],
         );
         sim.run_for(SimDuration::from_millis(100));
         assert_eq!(sim.metrics().counter("driver.err"), 1, "state was lost");
@@ -1208,7 +1227,11 @@ mod tests {
             &mut sim,
             nc,
             directory,
-            vec![(ActorId::new("account", "a"), "deposit".into(), vec![Value::Int(50)])],
+            vec![(
+                ActorId::new("account", "a"),
+                "deposit".into(),
+                vec![Value::Int(50)],
+            )],
         );
         sim.run_for(SimDuration::from_millis(50));
         sim.crash_node(ns);
@@ -1220,7 +1243,11 @@ mod tests {
             &mut sim,
             nc,
             directory,
-            vec![(ActorId::new("account", "a"), "withdraw".into(), vec![Value::Int(120)])],
+            vec![(
+                ActorId::new("account", "a"),
+                "withdraw".into(),
+                vec![Value::Int(120)],
+            )],
         );
         sim.run_for(SimDuration::from_millis(100));
         assert_eq!(sim.metrics().counter("driver.ok"), 2);
@@ -1259,7 +1286,11 @@ mod tests {
             &mut sim,
             nc,
             directory,
-            vec![(ActorId::new("account", "m"), "deposit".into(), vec![Value::Int(10)])],
+            vec![(
+                ActorId::new("account", "m"),
+                "deposit".into(),
+                vec![Value::Int(10)],
+            )],
         );
         sim.run_for(SimDuration::from_millis(50));
         sim.crash_node(ns1);
@@ -1269,7 +1300,11 @@ mod tests {
             &mut sim,
             nc,
             directory,
-            vec![(ActorId::new("account", "m"), "deposit".into(), vec![Value::Int(10)])],
+            vec![(
+                ActorId::new("account", "m"),
+                "deposit".into(),
+                vec![Value::Int(10)],
+            )],
         );
         sim.run_for(SimDuration::from_millis(300));
         // Both deposits applied exactly once each despite the crash.
@@ -1278,7 +1313,11 @@ mod tests {
             &mut sim,
             nc,
             directory,
-            vec![(ActorId::new("account", "m"), "withdraw".into(), vec![Value::Int(120)])],
+            vec![(
+                ActorId::new("account", "m"),
+                "withdraw".into(),
+                vec![Value::Int(120)],
+            )],
         );
         sim.run_for(SimDuration::from_millis(200));
         assert_eq!(

@@ -23,8 +23,9 @@
 //! layer assumes a loss-free network and crash-restart failures, exactly
 //! like Flink over TCP.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
+use tca_sim::{DetHashMap as HashMap, DetHashSet as HashSet};
 
 use tca_sim::{Ctx, Payload, Process, ProcessId, SimDuration};
 use tca_storage::Value;
@@ -341,11 +342,15 @@ impl Worker {
             state: self.keyed_state.clone(),
             position: self.position,
         };
-        ctx.disk().put(&format!("snapshot/{id}"), SnapshotCell(Rc::new(snap)));
+        ctx.disk()
+            .put(&format!("snapshot/{id}"), SnapshotCell(Rc::new(snap)));
         ctx.disk().put("latest_snapshot", id);
         ctx.metrics().incr("dataflow.snapshots", 1);
         ctx.metrics().incr(
-            &format!("dataflow.snapshots.{}-{}", self.stage.name, self.stage_relative_index),
+            &format!(
+                "dataflow.snapshots.{}-{}",
+                self.stage.name, self.stage_relative_index
+            ),
             1,
         );
         let manager = self.deployment.manager();
@@ -366,7 +371,7 @@ impl Worker {
                 self.position = cell.0.position;
             }
             None => {
-                self.keyed_state = HashMap::new();
+                self.keyed_state = HashMap::default();
                 self.position = 0;
             }
         }
@@ -529,10 +534,7 @@ impl Worker {
 
     /// Deliver in-order messages buffered on the channel from `sender`.
     fn drain_channel(&mut self, ctx: &mut Ctx, sender: ProcessId, epoch: u64) {
-        loop {
-            let Some(channel) = self.inputs.get_mut(&sender) else {
-                break;
-            };
+        while let Some(channel) = self.inputs.get_mut(&sender) {
             let Some(msg) = channel.reorder.remove(&channel.next_seq) else {
                 break;
             };
@@ -795,31 +797,27 @@ pub fn deploy(
             let deployment_handle = deployment.clone();
             let task_index = task_counter;
             task_counter += 1;
-            let pid = sim.spawn(
-                node,
-                format!("df-{}-{}", stage.name, sub),
-                move |boot| {
-                    Box::new(Worker {
-                        task_index,
-                        stage_index,
-                        stage: stage.clone(),
-                        deployment: deployment_handle.clone(),
-                        keyed_state: HashMap::new(),
-                        position: 0,
-                        eos: false,
-                        epoch: 0,
-                        inputs: HashMap::new(),
-                        out_seq: HashMap::new(),
-                        aligning: None,
-                        align_buffer: VecDeque::new(),
-                        staged: BTreeMap::new(),
-                        uncommitted: 0,
-                        paused: false,
-                        stage_relative_index: sub,
-                        boot_restart: boot.restart,
-                    })
-                },
-            );
+            let pid = sim.spawn(node, format!("df-{}-{}", stage.name, sub), move |boot| {
+                Box::new(Worker {
+                    task_index,
+                    stage_index,
+                    stage: stage.clone(),
+                    deployment: deployment_handle.clone(),
+                    keyed_state: HashMap::default(),
+                    position: 0,
+                    eos: false,
+                    epoch: 0,
+                    inputs: HashMap::default(),
+                    out_seq: HashMap::default(),
+                    aligning: None,
+                    align_buffer: VecDeque::new(),
+                    staged: BTreeMap::new(),
+                    uncommitted: 0,
+                    paused: false,
+                    stage_relative_index: sub,
+                    boot_restart: boot.restart,
+                })
+            });
             workers.push(pid);
             all_tasks.push(pid);
         }
@@ -831,11 +829,11 @@ pub fn deploy(
             config: manager_config.clone(),
             deployment: manager_deployment.clone(),
             next_checkpoint: 0,
-            acks: HashMap::new(),
+            acks: HashMap::default(),
             completed: 0,
             epoch: 0,
             restoring: false,
-            restore_acks: HashSet::new(),
+            restore_acks: HashSet::default(),
         })
     });
     {

@@ -15,14 +15,14 @@
 //! the saga/2PC machinery in `tca-txn` exists to close, and what
 //! experiment E8 measures.
 
-use std::collections::HashMap;
 use std::rc::Rc;
+use tca_sim::DetHashMap as HashMap;
 
 use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration};
 use tca_storage::{DbMsg, DbReply, DbRequest, DbResponse, Value};
 
-use tca_messaging::rpc::{reply_to, RpcClient, RpcEvent, RpcRequest, RetryPolicy};
 use tca_messaging::idempotency::{Dedup, IdempotencyStore};
+use tca_messaging::rpc::{reply_to, RetryPolicy, RpcClient, RpcEvent, RpcRequest};
 
 /// A call to a service endpoint (the body of an [`RpcRequest`]).
 #[derive(Debug, Clone)]
@@ -221,7 +221,7 @@ impl Microservice {
                 endpoints: Rc::clone(&endpoints),
                 config: config.clone(),
                 rpc: RpcClient::new(),
-                active: HashMap::new(),
+                active: HashMap::default(),
                 next_invocation: 0,
                 dedup: IdempotencyStore::new(config.dedup_window),
             })
@@ -276,7 +276,12 @@ impl Microservice {
                     }
                     // fall through: loop to next step
                 }
-                Step::Db { db, proc, args, bind } => {
+                Step::Db {
+                    db,
+                    proc,
+                    args,
+                    bind,
+                } => {
                     let args = args(&inv.vars);
                     let body = Payload::new(DbMsg {
                         token: bind_token(bind),
@@ -388,7 +393,7 @@ fn token_bind(token: u64) -> Option<&'static str> {
 
 thread_local! {
     static BIND_NAMES: std::cell::RefCell<HashMap<u64, &'static str>> =
-        std::cell::RefCell::new(HashMap::new());
+        std::cell::RefCell::new(HashMap::default());
 }
 
 impl Process for Microservice {
@@ -491,7 +496,7 @@ impl ServiceClient {
                 plan: plan.clone(),
                 issued: 0,
                 metric: metric.clone(),
-                started: HashMap::new(),
+                started: HashMap::default(),
             })
         }
     }
@@ -511,7 +516,8 @@ impl ServiceClient {
     fn complete(&mut self, ctx: &mut Ctx, tag: u64, ok: bool) {
         if let Some(start) = self.started.remove(&tag) {
             let elapsed = ctx.now().since(start);
-            ctx.metrics().record(&format!("{}.latency", self.metric), elapsed);
+            ctx.metrics()
+                .record(&format!("{}.latency", self.metric), elapsed);
         }
         let suffix = if ok { "ok" } else { "err" };
         ctx.metrics().incr(&format!("{}.{suffix}", self.metric), 1);
@@ -601,11 +607,16 @@ mod tests {
                 },
             }),
         );
-        let mut inv_endpoints = HashMap::new();
+        let mut inv_endpoints = HashMap::default();
         inv_endpoints.insert(
             "reserve".to_owned(),
             Endpoint::new(
-                vec![Step::db(db, "reserve", |v| vec![v.get("$0").clone()], Some("left"))],
+                vec![Step::db(
+                    db,
+                    "reserve",
+                    |v| vec![v.get("$0").clone()],
+                    Some("left"),
+                )],
                 vec!["left"],
             ),
         );
@@ -614,12 +625,17 @@ mod tests {
             "inventory",
             Microservice::factory("inventory", inv_endpoints, ServiceConfig::default()),
         );
-        let mut ord_endpoints = HashMap::new();
+        let mut ord_endpoints = HashMap::default();
         ord_endpoints.insert(
             "place".to_owned(),
             Endpoint::new(
                 vec![
-                    Step::invoke(inventory, "reserve", |v| vec![v.get("$0").clone()], Some("left")),
+                    Step::invoke(
+                        inventory,
+                        "reserve",
+                        |v| vec![v.get("$0").clone()],
+                        Some("left"),
+                    ),
                     Step::compute(|vars| {
                         let left = vars.get("left").as_int();
                         vars.set("status", Value::Str(format!("placed, {left} left")));

@@ -1,0 +1,509 @@
+//! A small in-tree property-testing harness.
+//!
+//! Replaces `proptest` so the workspace builds with zero external
+//! dependencies. The moving parts:
+//!
+//! * [`Gen<T>`] — a value generator paired with a shrinker. Built from the
+//!   integer/float/bool/vec/tuple combinators below; generation is driven
+//!   by [`SimRng`], so case streams are deterministic per seed.
+//! * [`check`] / [`Config::check`] — run a property over N generated
+//!   cases. On failure the input is shrunk to a (locally) minimal
+//!   counterexample and the panic message carries the reproducing seed.
+//! * [`regression`] — re-run a property on one explicit input; used to pin
+//!   counterexamples that shrinking found in the past (the replacement for
+//!   proptest's `*.proptest-regressions` files).
+//!
+//! Properties are plain closures that `assert!`/`assert_eq!` like any
+//! test; the harness catches the panic, shrinks, and re-raises with
+//! context:
+//!
+//! ```
+//! use tca_sim::check::{check, vec_of, u64_in};
+//!
+//! check("sum is monotone in length", &vec_of(u64_in(0, 10), 0, 20), |xs| {
+//!     let sum: u64 = xs.iter().sum();
+//!     assert!(sum <= 10 * xs.len() as u64);
+//! });
+//! ```
+//!
+//! Reproduce a failure by re-running with `TCA_CHECK_SEED=<seed printed in
+//! the failure message>`; raise or lower the case count for all checks
+//! with `TCA_CHECK_CASES=<n>`.
+
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::rc::Rc;
+
+use crate::rng::SimRng;
+
+/// Default number of generated cases per property (overridable with
+/// `TCA_CHECK_CASES` or [`Config::cases`]).
+pub const DEFAULT_CASES: u32 = 128;
+
+/// Default base seed for case generation (overridable with
+/// `TCA_CHECK_SEED` or [`Config::seed`]).
+pub const DEFAULT_SEED: u64 = 0x7CA_5EED;
+
+/// Cap on shrink attempts so pathological shrinkers terminate.
+const MAX_SHRINK_STEPS: u32 = 2_000;
+
+type GenerateFn<T> = Rc<dyn Fn(&mut SimRng) -> T>;
+type ShrinkFn<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
+/// A generator: produces values from a [`SimRng`] and proposes smaller
+/// variants of a failing value for shrinking.
+///
+/// Cloning is cheap (the closures are reference-counted).
+#[derive(Clone)]
+pub struct Gen<T> {
+    generate: GenerateFn<T>,
+    shrink: ShrinkFn<T>,
+}
+
+impl<T: 'static> Gen<T> {
+    /// Build a generator from a generation closure and a shrink closure.
+    /// The shrinker returns candidate *smaller* values to try, most
+    /// aggressive first; return an empty vec for unshrinkable types.
+    pub fn new(
+        generate: impl Fn(&mut SimRng) -> T + 'static,
+        shrink: impl Fn(&T) -> Vec<T> + 'static,
+    ) -> Self {
+        Gen {
+            generate: Rc::new(generate),
+            shrink: Rc::new(shrink),
+        }
+    }
+
+    /// Generate one value.
+    pub fn generate(&self, rng: &mut SimRng) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Propose shrink candidates for a failing value.
+    pub fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+}
+
+macro_rules! int_gen {
+    ($fn_name:ident, $ty:ty, $doc:expr) => {
+        #[doc = $doc]
+        ///
+        /// Shrinks toward `lo`: first `lo` itself, then successive
+        /// midpoints between `lo` and the failing value, then the
+        /// predecessor.
+        pub fn $fn_name(lo: $ty, hi: $ty) -> Gen<$ty> {
+            assert!(lo < hi, "empty range [{lo}, {hi})");
+            Gen::new(
+                move |rng| lo + (rng.range(0, (hi - lo) as u64) as $ty),
+                move |&v| {
+                    let mut candidates = Vec::new();
+                    if v > lo {
+                        candidates.push(lo);
+                        let mid = lo + (v - lo) / 2;
+                        if mid != lo && mid != v {
+                            candidates.push(mid);
+                        }
+                        candidates.push(v - 1);
+                    }
+                    candidates.dedup();
+                    candidates
+                },
+            )
+        }
+    };
+}
+
+int_gen!(u8_in, u8, "Uniform `u8` in `[lo, hi)`.");
+int_gen!(u32_in, u32, "Uniform `u32` in `[lo, hi)`.");
+int_gen!(u64_in, u64, "Uniform `u64` in `[lo, hi)`.");
+int_gen!(usize_in, usize, "Uniform `usize` in `[lo, hi)`.");
+
+/// Uniform `i64` in `[lo, hi)`. Shrinks toward `lo`.
+pub fn i64_in(lo: i64, hi: i64) -> Gen<i64> {
+    assert!(lo < hi, "empty range [{lo}, {hi})");
+    let span = hi.wrapping_sub(lo) as u64;
+    Gen::new(
+        move |rng| lo.wrapping_add(rng.range(0, span) as i64),
+        move |&v| {
+            let mut candidates = Vec::new();
+            if v > lo {
+                candidates.push(lo);
+                let mid = lo + (v - lo) / 2;
+                if mid != lo && mid != v {
+                    candidates.push(mid);
+                }
+                candidates.push(v - 1);
+            }
+            candidates.dedup();
+            candidates
+        },
+    )
+}
+
+/// Uniform `f64` in `[lo, hi)`. Shrinks toward `lo` by halving the
+/// offset (floats have no canonical minimal step, so shrinking stops once
+/// the offset is tiny).
+pub fn f64_in(lo: f64, hi: f64) -> Gen<f64> {
+    assert!(lo < hi, "empty range [{lo}, {hi})");
+    Gen::new(
+        move |rng| lo + rng.unit() * (hi - lo),
+        move |&v| {
+            let offset = v - lo;
+            if offset > 1e-9 * (hi - lo) {
+                vec![lo, lo + offset / 2.0]
+            } else {
+                Vec::new()
+            }
+        },
+    )
+}
+
+/// Uniform boolean. Shrinks `true` to `false`.
+pub fn bool_any() -> Gen<bool> {
+    Gen::new(
+        |rng| rng.chance(0.5),
+        |&v| if v { vec![false] } else { Vec::new() },
+    )
+}
+
+/// Vector of `min..=max` elements drawn from `elem`.
+///
+/// Shrinks by (1) dropping to the minimum length, (2) halving the length,
+/// (3) removing single elements, (4) shrinking individual elements —
+/// always respecting the `min` length bound.
+pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, min: usize, max: usize) -> Gen<Vec<T>> {
+    assert!(min <= max);
+    let elem_shrink = elem.clone();
+    Gen::new(
+        move |rng| {
+            let len = if min == max {
+                min
+            } else {
+                min + rng.index(max - min + 1)
+            };
+            (0..len).map(|_| elem.generate(rng)).collect()
+        },
+        move |v: &Vec<T>| {
+            let mut candidates: Vec<Vec<T>> = Vec::new();
+            if v.len() > min {
+                candidates.push(v[..min].to_vec());
+                let half = min.max(v.len() / 2);
+                if half < v.len() {
+                    candidates.push(v[..half].to_vec());
+                }
+                for i in 0..v.len() {
+                    let mut smaller = v.clone();
+                    smaller.remove(i);
+                    candidates.push(smaller);
+                }
+            }
+            for (i, x) in v.iter().enumerate() {
+                for replacement in elem_shrink.shrink(x) {
+                    let mut tweaked = v.clone();
+                    tweaked[i] = replacement;
+                    candidates.push(tweaked);
+                }
+            }
+            candidates
+        },
+    )
+}
+
+/// Pair generator; shrinks one component at a time.
+pub fn tuple2<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    let (sa, sb) = (a.clone(), b.clone());
+    Gen::new(
+        move |rng| (a.generate(rng), b.generate(rng)),
+        move |(x, y)| {
+            let mut candidates: Vec<(A, B)> = Vec::new();
+            for nx in sa.shrink(x) {
+                candidates.push((nx, y.clone()));
+            }
+            for ny in sb.shrink(y) {
+                candidates.push((x.clone(), ny));
+            }
+            candidates
+        },
+    )
+}
+
+/// Triple generator; shrinks one component at a time.
+pub fn tuple3<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+) -> Gen<(A, B, C)> {
+    let (sa, sb, sc) = (a.clone(), b.clone(), c.clone());
+    Gen::new(
+        move |rng| (a.generate(rng), b.generate(rng), c.generate(rng)),
+        move |(x, y, z)| {
+            let mut candidates: Vec<(A, B, C)> = Vec::new();
+            for nx in sa.shrink(x) {
+                candidates.push((nx, y.clone(), z.clone()));
+            }
+            for ny in sb.shrink(y) {
+                candidates.push((x.clone(), ny, z.clone()));
+            }
+            for nz in sc.shrink(z) {
+                candidates.push((x.clone(), y.clone(), nz));
+            }
+            candidates
+        },
+    )
+}
+
+/// Configuration for a property run. The environment overrides the
+/// defaults (`TCA_CHECK_CASES`, `TCA_CHECK_SEED`), and builder methods
+/// override the environment.
+#[derive(Clone, Debug)]
+pub struct Config {
+    cases: u32,
+    seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: env_u64("TCA_CHECK_CASES").map_or(DEFAULT_CASES, |v| v as u32),
+            seed: env_u64("TCA_CHECK_SEED").unwrap_or(DEFAULT_SEED),
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+impl Config {
+    /// Start from the environment-resolved defaults.
+    pub fn new() -> Self {
+        Config::default()
+    }
+
+    /// Number of generated cases.
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Base seed; case `i` is generated from `seed + i`.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run `property` over generated cases. Panics (test failure) on the
+    /// first counterexample, after shrinking it, with the reproducing
+    /// seed in the message.
+    pub fn check<T: Clone + Debug + 'static>(
+        &self,
+        name: &str,
+        gen: &Gen<T>,
+        property: impl Fn(&T),
+    ) {
+        let property = AssertUnwindSafe(property);
+        for i in 0..self.cases {
+            // Case i draws from seed + i, so a failure reproduces under
+            // TCA_CHECK_SEED=<case seed> with the failing case first.
+            let case_seed = self.seed.wrapping_add(i as u64);
+            let input = gen.generate(&mut SimRng::new(case_seed));
+            if let Some(message) = failure(&property, &input) {
+                let (minimal, steps) = shrink_failure(gen, input.clone(), &property);
+                let final_message = failure(&property, &minimal).unwrap_or_else(|| message.clone());
+                panic!(
+                    "property '{name}' failed after {tried} case(s)\n\
+                     \x20 seed:   {case_seed} (rerun with TCA_CHECK_SEED={case_seed})\n\
+                     \x20 input:  {minimal:?} (shrunk, {steps} step(s) from {input:?})\n\
+                     \x20 error:  {final_message}",
+                    tried = i + 1,
+                );
+            }
+        }
+    }
+}
+
+/// Run `property` over `DEFAULT_CASES` generated cases (or the
+/// `TCA_CHECK_CASES` / `TCA_CHECK_SEED` environment overrides).
+pub fn check<T: Clone + Debug + 'static>(name: &str, gen: &Gen<T>, property: impl Fn(&T)) {
+    Config::new().check(name, gen, property);
+}
+
+/// Re-run a property on one explicit input — a pinned regression case
+/// that generation once found. Panics with the property name on failure.
+pub fn regression<T: Debug>(name: &str, input: &T, property: impl Fn(&T)) {
+    let property = AssertUnwindSafe(property);
+    if let Some(message) = failure(&property, input) {
+        panic!("regression '{name}' failed\n  input:  {input:?}\n  error:  {message}");
+    }
+}
+
+/// Evaluate the property, converting a panic into `Some(message)`.
+///
+/// The global panic hook is silenced for the duration so expected
+/// counterexample panics (which the harness catches and re-reports) do
+/// not spam test output during shrinking.
+fn failure<T>(property: &AssertUnwindSafe<impl Fn(&T)>, input: &T) -> Option<String> {
+    let quiet = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| (property.0)(input)));
+    panic::set_hook(quiet);
+    match result {
+        Ok(()) => None,
+        Err(payload) => Some(payload_message(&*payload)),
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Greedily walk shrink candidates: take the first candidate that still
+/// fails, repeat from there, stop when no candidate fails (local minimum)
+/// or the step budget runs out. Returns the minimal input and the number
+/// of successful shrink steps.
+fn shrink_failure<T: Clone + Debug + 'static>(
+    gen: &Gen<T>,
+    mut failing: T,
+    property: &AssertUnwindSafe<impl Fn(&T)>,
+) -> (T, u32) {
+    let mut steps = 0u32;
+    let mut budget = MAX_SHRINK_STEPS;
+    'outer: while budget > 0 {
+        for candidate in gen.shrink(&failing) {
+            budget = budget.saturating_sub(1);
+            if budget == 0 {
+                break 'outer;
+            }
+            if failure(property, &candidate).is_some() {
+                failing = candidate;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // no candidate fails: locally minimal
+    }
+    (failing, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        use std::cell::Cell;
+        let ran = Cell::new(0u32);
+        Config::new()
+            .cases(50)
+            .seed(1)
+            .check("always true", &u64_in(0, 100), |_| {
+                ran.set(ran.get() + 1);
+            });
+        assert_eq!(ran.get(), 50);
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed() {
+        let result = std::panic::catch_unwind(|| {
+            Config::new()
+                .cases(100)
+                .seed(7)
+                .check("finds big values", &u64_in(0, 1000), |&v| {
+                    assert!(v < 500, "value {v} too big");
+                });
+        });
+        let message = payload_message(&*result.unwrap_err());
+        assert!(message.contains("TCA_CHECK_SEED="), "message: {message}");
+        assert!(message.contains("finds big values"), "message: {message}");
+    }
+
+    #[test]
+    fn integers_shrink_to_boundary() {
+        // The minimal failing input for "v < 500" over [0, 1000) is 500.
+        let result = std::panic::catch_unwind(|| {
+            Config::new()
+                .cases(100)
+                .seed(7)
+                .check("shrinks", &u64_in(0, 1000), |&v| assert!(v < 500));
+        });
+        let message = payload_message(&*result.unwrap_err());
+        assert!(message.contains("input:  500 "), "message: {message}");
+    }
+
+    #[test]
+    fn vecs_shrink_toward_minimal_length() {
+        // Any vec with an element >= 5 fails; minimal counterexample is [5].
+        let result = std::panic::catch_unwind(|| {
+            Config::new().cases(100).seed(3).check(
+                "vec shrink",
+                &vec_of(u64_in(0, 100), 0, 20),
+                |xs| assert!(xs.iter().all(|&x| x < 5)),
+            );
+        });
+        let message = payload_message(&*result.unwrap_err());
+        assert!(message.contains("input:  [5] "), "message: {message}");
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let result = std::panic::catch_unwind(|| {
+            Config::new().cases(200).seed(11).check(
+                "pair shrink",
+                &tuple2(u64_in(0, 100), u64_in(0, 100)),
+                |&(a, b)| assert!(a + b < 50),
+            );
+        });
+        let message = payload_message(&*result.unwrap_err());
+        // The greedy shrinker reaches a local minimum where a + b == 50.
+        assert!(message.contains("input:  ("), "message: {message}");
+    }
+
+    #[test]
+    fn regression_replays_exact_input() {
+        regression(
+            "exact input",
+            &(3u64, vec![1, 2]),
+            |(a, xs): &(u64, Vec<i32>)| {
+                assert_eq!(*a as usize, xs.len() + 1);
+            },
+        );
+    }
+
+    #[test]
+    fn same_seed_generates_same_cases() {
+        let gen = vec_of(i64_in(-50, 50), 1, 30);
+        let a: Vec<Vec<i64>> = (0..20)
+            .map(|i| gen.generate(&mut SimRng::new(100 + i)))
+            .collect();
+        let b: Vec<Vec<i64>> = (0..20)
+            .map(|i| gen.generate(&mut SimRng::new(100 + i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bool_and_f64_generators_cover_range() {
+        let mut rng = SimRng::new(5);
+        let bools = bool_any();
+        let floats = f64_in(2.0, 3.0);
+        let mut saw_true = false;
+        let mut saw_false = false;
+        for _ in 0..100 {
+            if bools.generate(&mut rng) {
+                saw_true = true;
+            } else {
+                saw_false = true;
+            }
+            let f = floats.generate(&mut rng);
+            assert!((2.0..3.0).contains(&f));
+        }
+        assert!(saw_true && saw_false);
+    }
+}

@@ -12,8 +12,9 @@
 //! `on_start`. In-flight messages to a crashed node are lost at delivery
 //! time — exactly the partial-failure model the paper's §4.1 discusses.
 
+use crate::detmap::DetHashSet as HashSet;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::metrics::Metrics;
 use crate::network::{Fate, Network, NetworkConfig};
@@ -138,7 +139,7 @@ impl Sim {
             rng: SimRng::new(config.seed),
             metrics: Metrics::new(),
             network: Network::new(config.network),
-            cancelled_timers: HashSet::new(),
+            cancelled_timers: HashSet::default(),
             timer_seq: 0,
             trace: Trace::new(),
             events_processed: 0,
@@ -199,13 +200,7 @@ impl Sim {
         slot.state = Some(state);
         self.procs.push(slot);
         let generation = 0;
-        self.push(
-            self.now,
-            EventKind::Start {
-                pid,
-                generation,
-            },
-        );
+        self.push(self.now, EventKind::Start { pid, generation });
         pid
     }
 
@@ -703,14 +698,13 @@ mod tests {
                 })
             });
             sim.run_for(SimDuration::from_secs(1));
-            (
-                sim.metrics().counter("echo.seen"),
-                sim.events_processed(),
-            )
+            (sim.metrics().counter("echo.seen"), sim.events_processed())
         }
         assert_eq!(run(7), run(7));
-        // Different seeds should diverge under 10% loss.
-        assert_ne!(run(7).0, run(8).0);
+        // Different seeds should diverge under 10% loss. Compare the
+        // full (delivered, events) fingerprint: the delivered count
+        // alone is coarse enough for two seeds to collide by chance.
+        assert_ne!(run(7), run(8));
     }
 
     #[test]
@@ -797,7 +791,7 @@ mod tests {
     #[test]
     fn messages_to_down_node_are_lost() {
         let mut sim = Sim::with_seed(6);
-        let n0 = sim.add_node();
+        let _n0 = sim.add_node();
         let n1 = sim.add_node();
         let echo = sim.spawn(n1, "echo", |_| Box::new(Echo));
         sim.run_for(SimDuration::from_micros(1));

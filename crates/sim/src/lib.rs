@@ -31,6 +31,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod check;
+pub mod detmap;
 pub mod kernel;
 pub mod metrics;
 pub mod network;
@@ -41,6 +43,7 @@ pub mod time;
 pub mod trace;
 pub mod wire;
 
+pub use detmap::{DetHashMap, DetHashSet, DetState};
 pub use kernel::{Sim, SimConfig};
 pub use metrics::{Histogram, Metrics};
 pub use network::{Network, NetworkConfig};

@@ -6,7 +6,7 @@
 //! fourth failure mode that distinguishes blocking protocols such as 2PC
 //! from sagas (§4.2). All four are first-class here.
 
-use std::collections::HashSet;
+use crate::detmap::DetHashSet as HashSet;
 
 use crate::proc::NodeId;
 use crate::rng::SimRng;
@@ -83,7 +83,7 @@ impl Network {
     pub fn new(config: NetworkConfig) -> Self {
         Network {
             config,
-            cuts: HashSet::new(),
+            cuts: HashSet::default(),
         }
     }
 
@@ -119,12 +119,7 @@ impl Network {
     }
 
     /// Decide the fate of one message from `src` to `dst`.
-    pub(crate) fn route(
-        &self,
-        rng: &mut SimRng,
-        src: NodeId,
-        dst: NodeId,
-    ) -> Fate {
+    pub(crate) fn route(&self, rng: &mut SimRng, src: NodeId, dst: NodeId) -> Fate {
         if src == dst {
             // Loopback: reliable, fast, in-order enough for our purposes.
             return Fate::Deliver(self.config.local_latency);

@@ -12,9 +12,9 @@
 //! back to the process factory on restart — this models durable storage
 //! without byte-level serialization.
 
+use crate::detmap::DetHashMap as HashMap;
 use std::any::Any;
 use std::cell::Cell;
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 

@@ -7,7 +7,7 @@
 //! served within their TTL may be stale, and the staleness experiment (E5)
 //! counts exactly how stale.
 
-use std::collections::HashMap;
+use tca_sim::DetHashMap as HashMap;
 
 use tca_sim::{SimDuration, SimTime};
 
@@ -57,7 +57,7 @@ impl TtlCache {
         assert!(config.capacity > 0, "cache needs capacity");
         TtlCache {
             config,
-            entries: HashMap::new(),
+            entries: HashMap::default(),
             use_clock: 0,
             hits: 0,
             misses: 0,

@@ -16,7 +16,8 @@
 //!   committer wins on write-write conflicts. Exhibits write skew.
 //! - **Serializable**: strict two-phase locking with deadlock detection.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+use tca_sim::DetHashMap as HashMap;
 
 use crate::locks::{Acquire, LockMode, LockTable};
 use crate::mvcc::MvccStore;
@@ -134,10 +135,10 @@ impl Engine {
             checkpoint,
             clock: 0,
             next_tx: 0,
-            active: HashMap::new(),
+            active: HashMap::default(),
             commits_since_checkpoint: 0,
             footprints: Vec::new(),
-            aborts: HashMap::new(),
+            aborts: HashMap::default(),
             commit_count: 0,
         }
     }
@@ -219,20 +220,32 @@ impl Engine {
         match state.iso {
             IsolationLevel::ReadCommitted => {
                 let (value, ts) = self.observe_latest(key);
-                self.active.get_mut(&tx).expect("active").reads.push((key.clone(), ts));
+                self.active
+                    .get_mut(&tx)
+                    .expect("active")
+                    .reads
+                    .push((key.clone(), ts));
                 (OpResult::Read(value), Vec::new())
             }
             IsolationLevel::SnapshotIsolation => {
                 let begin_ts = state.begin_ts;
                 let value = self.mvcc.read_at(key, begin_ts).cloned();
                 let ts = self.version_ts_at(key, begin_ts);
-                self.active.get_mut(&tx).expect("active").reads.push((key.clone(), ts));
+                self.active
+                    .get_mut(&tx)
+                    .expect("active")
+                    .reads
+                    .push((key.clone(), ts));
                 (OpResult::Read(value), Vec::new())
             }
             IsolationLevel::Serializable => match self.locks.acquire(tx, key, LockMode::Shared) {
                 Acquire::Granted => {
                     let (value, ts) = self.observe_latest(key);
-                    self.active.get_mut(&tx).expect("active").reads.push((key.clone(), ts));
+                    self.active
+                        .get_mut(&tx)
+                        .expect("active")
+                        .reads
+                        .push((key.clone(), ts));
                     (OpResult::Read(value), Vec::new())
                 }
                 Acquire::Waiting => {
@@ -292,10 +305,7 @@ impl Engine {
     /// visible to subsequent reads.
     pub fn commit(&mut self, tx: TxId) -> (CommitResult, Vec<Resumption>) {
         let Some(state) = self.active.get(&tx) else {
-            return (
-                CommitResult::Aborted(AbortReason::Requested),
-                Vec::new(),
-            );
+            return (CommitResult::Aborted(AbortReason::Requested), Vec::new());
         };
         // Snapshot-isolation first-committer-wins validation.
         if state.iso == IsolationLevel::SnapshotIsolation {
@@ -306,10 +316,7 @@ impl Engine {
                 .any(|k| self.mvcc.latest_ts(k).is_some_and(|ts| ts > begin_ts));
             if conflict {
                 let resumed = self.internal_abort(tx, AbortReason::WriteConflict);
-                return (
-                    CommitResult::Aborted(AbortReason::WriteConflict),
-                    resumed,
-                );
+                return (CommitResult::Aborted(AbortReason::WriteConflict), resumed);
             }
         }
         let state = self.active.remove(&tx).expect("active");
@@ -485,7 +492,11 @@ mod tests {
     use super::*;
 
     fn engine() -> Engine {
-        Engine::new(EngineConfig::default(), DurableLog::new(), DurableCell::new())
+        Engine::new(
+            EngineConfig::default(),
+            DurableLog::new(),
+            DurableCell::new(),
+        )
     }
 
     fn k(s: &str) -> Key {
@@ -496,7 +507,10 @@ mod tests {
     fn simple_commit_visible() {
         let mut e = engine();
         let tx = e.begin(IsolationLevel::Serializable);
-        assert_eq!(e.write(tx, &k("a"), Some(Value::Int(1))).0, OpResult::Written);
+        assert_eq!(
+            e.write(tx, &k("a"), Some(Value::Int(1))).0,
+            OpResult::Written
+        );
         let (r, _) = e.commit(tx);
         assert!(matches!(r, CommitResult::Committed(_)));
         assert_eq!(e.peek("a"), Some(Value::Int(1)));
@@ -511,7 +525,7 @@ mod tests {
         ] {
             let mut e = engine();
             let tx = e.begin(iso);
-            e.write(tx, &k("a"), Some(Value::Int(7))).0.clone();
+            let _ = e.write(tx, &k("a"), Some(Value::Int(7)));
             let (r, _) = e.read(tx, &k("a"));
             assert_eq!(r, OpResult::Read(Some(Value::Int(7))), "{iso}");
         }
@@ -573,8 +587,14 @@ mod tests {
         e.load(&k("a"), Value::Int(0));
         let t1 = e.begin(IsolationLevel::Serializable);
         let t2 = e.begin(IsolationLevel::Serializable);
-        assert_eq!(e.write(t1, &k("a"), Some(Value::Int(1))).0, OpResult::Written);
-        assert_eq!(e.write(t2, &k("a"), Some(Value::Int(2))).0, OpResult::Blocked);
+        assert_eq!(
+            e.write(t1, &k("a"), Some(Value::Int(1))).0,
+            OpResult::Written
+        );
+        assert_eq!(
+            e.write(t2, &k("a"), Some(Value::Int(2))).0,
+            OpResult::Blocked
+        );
         let (r, resumed) = e.commit(t1);
         assert!(matches!(r, CommitResult::Committed(_)));
         assert_eq!(resumed.len(), 1);
@@ -593,7 +613,10 @@ mod tests {
         let t2 = e.begin(IsolationLevel::Serializable);
         e.write(t1, &k("a"), Some(Value::Int(1)));
         e.write(t2, &k("b"), Some(Value::Int(1)));
-        assert_eq!(e.write(t1, &k("b"), Some(Value::Int(1))).0, OpResult::Blocked);
+        assert_eq!(
+            e.write(t1, &k("b"), Some(Value::Int(1))).0,
+            OpResult::Blocked
+        );
         let (r, resumed) = e.write(t2, &k("a"), Some(Value::Int(1)));
         assert_eq!(r, OpResult::Aborted(AbortReason::Deadlock));
         // t2's abort released b, resuming t1's parked write.

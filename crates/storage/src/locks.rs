@@ -6,7 +6,8 @@
 //! promote compatible waiters and report them so the engine can resume
 //! their parked operations.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+use tca_sim::{DetHashMap as HashMap, DetHashSet as HashSet};
 
 use crate::types::{Key, TxId};
 
@@ -41,8 +42,7 @@ impl LockState {
     /// own holdings, which enables upgrades).
     fn compatible(&self, tx: TxId, mode: LockMode) -> bool {
         self.holders.iter().all(|(&holder, &held)| {
-            holder == tx
-                || (mode == LockMode::Shared && held == LockMode::Shared)
+            holder == tx || (mode == LockMode::Shared && held == LockMode::Shared)
         })
     }
 }
@@ -169,7 +169,7 @@ impl LockTable {
     /// the key it queues on, and for every waiter ahead of it in the queue.
     fn cycle_from(&self, from: TxId) -> bool {
         let mut stack = vec![from];
-        let mut seen = HashSet::new();
+        let mut seen = HashSet::default();
         while let Some(tx) = stack.pop() {
             let Some(key) = self.waiting_on.get(&tx) else {
                 continue;
@@ -187,8 +187,7 @@ impl LockTable {
                 .holders
                 .iter()
                 .filter(|(&h, &held)| {
-                    h != tx
-                        && !(my_mode == LockMode::Shared && held == LockMode::Shared)
+                    h != tx && !(my_mode == LockMode::Shared && held == LockMode::Shared)
                 })
                 .map(|(&h, _)| h)
                 .collect();
@@ -222,27 +221,54 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut t = LockTable::new();
-        assert_eq!(t.acquire(TxId(1), &k("a"), LockMode::Shared), Acquire::Granted);
-        assert_eq!(t.acquire(TxId(2), &k("a"), LockMode::Shared), Acquire::Granted);
+        assert_eq!(
+            t.acquire(TxId(1), &k("a"), LockMode::Shared),
+            Acquire::Granted
+        );
+        assert_eq!(
+            t.acquire(TxId(2), &k("a"), LockMode::Shared),
+            Acquire::Granted
+        );
     }
 
     #[test]
     fn exclusive_conflicts_with_everything() {
         let mut t = LockTable::new();
-        assert_eq!(t.acquire(TxId(1), &k("a"), LockMode::Exclusive), Acquire::Granted);
-        assert_eq!(t.acquire(TxId(2), &k("a"), LockMode::Shared), Acquire::Waiting);
-        assert_eq!(t.acquire(TxId(3), &k("a"), LockMode::Exclusive), Acquire::Waiting);
+        assert_eq!(
+            t.acquire(TxId(1), &k("a"), LockMode::Exclusive),
+            Acquire::Granted
+        );
+        assert_eq!(
+            t.acquire(TxId(2), &k("a"), LockMode::Shared),
+            Acquire::Waiting
+        );
+        assert_eq!(
+            t.acquire(TxId(3), &k("a"), LockMode::Exclusive),
+            Acquire::Waiting
+        );
     }
 
     #[test]
     fn reentrant_and_upgrade() {
         let mut t = LockTable::new();
-        assert_eq!(t.acquire(TxId(1), &k("a"), LockMode::Shared), Acquire::Granted);
-        assert_eq!(t.acquire(TxId(1), &k("a"), LockMode::Shared), Acquire::Granted);
+        assert_eq!(
+            t.acquire(TxId(1), &k("a"), LockMode::Shared),
+            Acquire::Granted
+        );
+        assert_eq!(
+            t.acquire(TxId(1), &k("a"), LockMode::Shared),
+            Acquire::Granted
+        );
         // Sole-holder upgrade succeeds immediately.
-        assert_eq!(t.acquire(TxId(1), &k("a"), LockMode::Exclusive), Acquire::Granted);
+        assert_eq!(
+            t.acquire(TxId(1), &k("a"), LockMode::Exclusive),
+            Acquire::Granted
+        );
         // Downgrade request after X is a no-op grant.
-        assert_eq!(t.acquire(TxId(1), &k("a"), LockMode::Shared), Acquire::Granted);
+        assert_eq!(
+            t.acquire(TxId(1), &k("a"), LockMode::Shared),
+            Acquire::Granted
+        );
     }
 
     #[test]
@@ -272,8 +298,14 @@ mod tests {
         let mut t = LockTable::new();
         t.acquire(TxId(1), &k("a"), LockMode::Exclusive);
         t.acquire(TxId(2), &k("b"), LockMode::Exclusive);
-        assert_eq!(t.acquire(TxId(1), &k("b"), LockMode::Exclusive), Acquire::Waiting);
-        assert_eq!(t.acquire(TxId(2), &k("a"), LockMode::Exclusive), Acquire::Deadlock);
+        assert_eq!(
+            t.acquire(TxId(1), &k("b"), LockMode::Exclusive),
+            Acquire::Waiting
+        );
+        assert_eq!(
+            t.acquire(TxId(2), &k("a"), LockMode::Exclusive),
+            Acquire::Deadlock
+        );
     }
 
     #[test]
@@ -282,9 +314,18 @@ mod tests {
         t.acquire(TxId(1), &k("a"), LockMode::Exclusive);
         t.acquire(TxId(2), &k("b"), LockMode::Exclusive);
         t.acquire(TxId(3), &k("c"), LockMode::Exclusive);
-        assert_eq!(t.acquire(TxId(1), &k("b"), LockMode::Exclusive), Acquire::Waiting);
-        assert_eq!(t.acquire(TxId(2), &k("c"), LockMode::Exclusive), Acquire::Waiting);
-        assert_eq!(t.acquire(TxId(3), &k("a"), LockMode::Exclusive), Acquire::Deadlock);
+        assert_eq!(
+            t.acquire(TxId(1), &k("b"), LockMode::Exclusive),
+            Acquire::Waiting
+        );
+        assert_eq!(
+            t.acquire(TxId(2), &k("c"), LockMode::Exclusive),
+            Acquire::Waiting
+        );
+        assert_eq!(
+            t.acquire(TxId(3), &k("a"), LockMode::Exclusive),
+            Acquire::Deadlock
+        );
     }
 
     #[test]
@@ -293,8 +334,14 @@ mod tests {
         let mut t = LockTable::new();
         t.acquire(TxId(1), &k("a"), LockMode::Shared);
         t.acquire(TxId(2), &k("a"), LockMode::Shared);
-        assert_eq!(t.acquire(TxId(1), &k("a"), LockMode::Exclusive), Acquire::Waiting);
-        assert_eq!(t.acquire(TxId(2), &k("a"), LockMode::Exclusive), Acquire::Deadlock);
+        assert_eq!(
+            t.acquire(TxId(1), &k("a"), LockMode::Exclusive),
+            Acquire::Waiting
+        );
+        assert_eq!(
+            t.acquire(TxId(2), &k("a"), LockMode::Exclusive),
+            Acquire::Deadlock
+        );
     }
 
     #[test]
@@ -303,7 +350,10 @@ mod tests {
         t.acquire(TxId(1), &k("a"), LockMode::Exclusive);
         t.acquire(TxId(2), &k("b"), LockMode::Exclusive);
         t.acquire(TxId(1), &k("b"), LockMode::Exclusive);
-        assert_eq!(t.acquire(TxId(2), &k("a"), LockMode::Exclusive), Acquire::Deadlock);
+        assert_eq!(
+            t.acquire(TxId(2), &k("a"), LockMode::Exclusive),
+            Acquire::Deadlock
+        );
         // tx2 aborts, releasing b; tx1's queued request gets granted.
         let granted = t.release_all(TxId(2));
         assert_eq!(granted, vec![TxId(1)]);
@@ -327,8 +377,14 @@ mod tests {
         // (prevents writer starvation).
         let mut t = LockTable::new();
         t.acquire(TxId(1), &k("a"), LockMode::Shared);
-        assert_eq!(t.acquire(TxId(2), &k("a"), LockMode::Exclusive), Acquire::Waiting);
-        assert_eq!(t.acquire(TxId(3), &k("a"), LockMode::Shared), Acquire::Waiting);
+        assert_eq!(
+            t.acquire(TxId(2), &k("a"), LockMode::Exclusive),
+            Acquire::Waiting
+        );
+        assert_eq!(
+            t.acquire(TxId(3), &k("a"), LockMode::Shared),
+            Acquire::Waiting
+        );
         let granted = t.release_all(TxId(1));
         assert_eq!(granted, vec![TxId(2)]);
     }

@@ -60,10 +60,7 @@ impl MvccStore {
 
     /// Read the latest committed version of `key`.
     pub fn read_latest(&self, key: &str) -> Option<&Value> {
-        self.data
-            .get(key)?
-            .last()
-            .and_then(|v| v.value.as_ref())
+        self.data.get(key)?.last().and_then(|v| v.value.as_ref())
     }
 
     /// Timestamp of the newest version of `key`, if any version exists.
@@ -85,10 +82,7 @@ impl MvccStore {
         let mut reclaimed = 0;
         self.data.retain(|_, versions| {
             // Index of the newest version visible at the horizon.
-            let keep_from = versions
-                .iter()
-                .rposition(|v| v.ts <= horizon)
-                .unwrap_or(0);
+            let keep_from = versions.iter().rposition(|v| v.ts <= horizon).unwrap_or(0);
             reclaimed += keep_from;
             versions.drain(..keep_from);
             // Fully remove keys whose only remaining state is one tombstone
@@ -143,7 +137,10 @@ impl MvccStore {
             .range(prefix.to_owned()..)
             .take_while(move |(k, _)| k.starts_with(prefix))
             .filter_map(|(k, versions)| {
-                versions.last().and_then(|v| v.value.as_ref()).map(|v| (k, v))
+                versions
+                    .last()
+                    .and_then(|v| v.value.as_ref())
+                    .map(|v| (k, v))
             })
     }
 }

@@ -6,8 +6,8 @@
 //! commits, aborts with a logic failure, or asks to be retried because an
 //! interactive transaction holds a lock it needs.
 
-use std::collections::HashMap;
 use std::rc::Rc;
+use tca_sim::DetHashMap as HashMap;
 
 use crate::engine::{CommitResult, Engine, OpResult};
 use crate::types::{AbortReason, IsolationLevel, Key, TxId, Value};
@@ -210,7 +210,11 @@ mod tests {
     use crate::wal::{DurableCell, DurableLog};
 
     fn engine() -> Engine {
-        Engine::new(EngineConfig::default(), DurableLog::new(), DurableCell::new())
+        Engine::new(
+            EngineConfig::default(),
+            DurableLog::new(),
+            DurableCell::new(),
+        )
     }
 
     fn transfer_registry() -> ProcRegistry {
@@ -287,7 +291,10 @@ mod tests {
         assert_eq!(run_proc(&mut e, &reg, "bump", &[]), ProcOutcome::Retry);
         // After the interactive txn commits, the proc goes through.
         e.commit(t);
-        assert_eq!(run_proc(&mut e, &reg, "bump", &[]), ProcOutcome::Done(vec![]));
+        assert_eq!(
+            run_proc(&mut e, &reg, "bump", &[]),
+            ProcOutcome::Done(vec![])
+        );
         assert_eq!(e.peek("k"), Some(Value::Int(3)));
     }
 

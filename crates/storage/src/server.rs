@@ -13,8 +13,9 @@
 //! [`Engine::recover`]. Fsync and read service times are charged on the
 //! reply path.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
+use tca_sim::DetHashMap as HashMap;
 
 use tca_sim::wire::{RpcReply, RpcRequest};
 use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration};
@@ -257,10 +258,10 @@ impl DbServer {
                 config: config.clone(),
                 engine,
                 registry: Rc::clone(&registry),
-                parked: HashMap::new(),
+                parked: HashMap::default(),
                 retry_queue: VecDeque::new(),
                 retry_timer_armed: false,
-                dedup: HashMap::new(),
+                dedup: HashMap::default(),
                 dedup_order: VecDeque::new(),
                 busy_until: tca_sim::SimTime::ZERO,
                 name: name.clone(),
@@ -350,7 +351,8 @@ impl DbServer {
                 );
             }
             ProcOutcome::Failed(error) => {
-                ctx.metrics().incr(&format!("{}.calls_failed", self.name), 1);
+                ctx.metrics()
+                    .incr(&format!("{}.calls_failed", self.name), 1);
                 self.reply(
                     ctx,
                     addr,
@@ -361,7 +363,8 @@ impl DbServer {
             ProcOutcome::Retry | ProcOutcome::Aborted(AbortReason::Deadlock)
                 if attempts < self.config.call_max_retries =>
             {
-                ctx.metrics().incr(&format!("{}.call_retries", self.name), 1);
+                ctx.metrics()
+                    .incr(&format!("{}.call_retries", self.name), 1);
                 self.retry_queue.push_back(ParkedCall {
                     addr,
                     proc,
@@ -454,20 +457,35 @@ impl Process for DbServer {
         match msg.req.clone() {
             DbRequest::Begin { iso } => {
                 let tx = self.engine.begin(iso);
-                self.reply(ctx, addr, DbResponse::Began { tx }, self.config.read_latency);
+                self.reply(
+                    ctx,
+                    addr,
+                    DbResponse::Began { tx },
+                    self.config.read_latency,
+                );
             }
             DbRequest::Read { tx, key } => {
                 let (result, resumed) = self.engine.read(tx, &key);
                 match result {
                     OpResult::Read(value) => {
-                        self.reply(ctx, addr, DbResponse::ReadOk { value }, self.config.read_latency);
+                        self.reply(
+                            ctx,
+                            addr,
+                            DbResponse::ReadOk { value },
+                            self.config.read_latency,
+                        );
                     }
                     OpResult::Blocked => {
                         ctx.metrics().incr(&format!("{}.lock_waits", self.name), 1);
                         self.parked.insert(tx, addr);
                     }
                     OpResult::Aborted(reason) => {
-                        self.reply(ctx, addr, DbResponse::Aborted { reason }, self.config.read_latency);
+                        self.reply(
+                            ctx,
+                            addr,
+                            DbResponse::Aborted { reason },
+                            self.config.read_latency,
+                        );
                     }
                     OpResult::Written => unreachable!(),
                 }
@@ -484,7 +502,12 @@ impl Process for DbServer {
                         self.parked.insert(tx, addr);
                     }
                     OpResult::Aborted(reason) => {
-                        self.reply(ctx, addr, DbResponse::Aborted { reason }, self.config.read_latency);
+                        self.reply(
+                            ctx,
+                            addr,
+                            DbResponse::Aborted { reason },
+                            self.config.read_latency,
+                        );
                     }
                     OpResult::Read(_) => unreachable!(),
                 }
@@ -523,11 +546,21 @@ impl Process for DbServer {
             }
             DbRequest::Peek { key } => {
                 let value = self.engine.peek(&key);
-                self.reply(ctx, addr, DbResponse::PeekOk { value }, self.config.read_latency);
+                self.reply(
+                    ctx,
+                    addr,
+                    DbResponse::PeekOk { value },
+                    self.config.read_latency,
+                );
             }
             DbRequest::Scan { prefix } => {
                 let pairs = self.engine.peek_prefix(&prefix);
-                self.reply(ctx, addr, DbResponse::ScanOk { pairs }, self.config.read_latency);
+                self.reply(
+                    ctx,
+                    addr,
+                    DbResponse::ScanOk { pairs },
+                    self.config.read_latency,
+                );
             }
             DbRequest::Load { pairs } => {
                 for (key, value) in pairs {
@@ -573,11 +606,9 @@ mod tests {
                 DbResponse::CallOk { .. } => ctx.metrics().incr("client.call_ok", 1),
                 DbResponse::CallFailed { .. } => ctx.metrics().incr("client.call_failed", 1),
                 DbResponse::Loaded => ctx.metrics().incr("client.loaded", 1),
-                DbResponse::PeekOk { value } => {
-                    if let Some(Value::Int(v)) = value {
-                        ctx.metrics().incr("client.peek", *v as u64);
-                    }
-                }
+                DbResponse::PeekOk {
+                    value: Some(Value::Int(v)),
+                } => ctx.metrics().incr("client.peek", *v as u64),
                 _ => {}
             }
         }

@@ -6,7 +6,8 @@
 //! structure — bounded fast tier, unbounded slow tier, promotion on access
 //! — so state-size sweeps show the hot/cold crossover.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use tca_sim::DetHashMap as HashMap;
 
 use tca_sim::SimDuration;
 
@@ -52,9 +53,9 @@ impl TieredStore {
         assert!(config.hot_capacity > 0);
         TieredStore {
             config,
-            hot: HashMap::new(),
+            hot: HashMap::default(),
             hot_order: VecDeque::new(),
-            cold: HashMap::new(),
+            cold: HashMap::default(),
             hot_hits: 0,
             cold_hits: 0,
             spills: 0,

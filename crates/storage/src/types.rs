@@ -153,10 +153,7 @@ mod tests {
         assert_eq!(Value::Int(5).as_int(), 5);
         assert_eq!(Value::from("x").as_str(), "x");
         assert!(Value::Bool(true).as_bool());
-        assert_eq!(
-            Value::List(vec![Value::Int(1)]).as_list(),
-            &[Value::Int(1)]
-        );
+        assert_eq!(Value::List(vec![Value::Int(1)]).as_list(), &[Value::Int(1)]);
     }
 
     #[test]

@@ -66,7 +66,6 @@ impl<T> DurableLog<T> {
 }
 
 impl<T: Clone> DurableLog<T> {
-
     /// Append a record; returns its logical sequence number.
     pub fn append(&self, record: T) -> u64 {
         let mut inner = self.inner.borrow_mut();
@@ -138,7 +137,6 @@ impl<T> DurableCell<T> {
 }
 
 impl<T: Clone> DurableCell<T> {
-
     /// Atomically replace the stored value.
     pub fn store(&self, value: T) {
         *self.inner.borrow_mut() = Some(value);

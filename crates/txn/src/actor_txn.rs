@@ -37,7 +37,9 @@ pub struct TransactionalActor {
 
 impl TransactionalActor {
     /// Wrap an op handler.
-    pub fn new(apply: impl Fn(&mut Value, &str, &[Value]) -> Result<Vec<Value>, String> + 'static) -> Self {
+    pub fn new(
+        apply: impl Fn(&mut Value, &str, &[Value]) -> Result<Vec<Value>, String> + 'static,
+    ) -> Self {
         TransactionalActor {
             apply: Rc::new(apply),
             lock: None,
@@ -169,10 +171,7 @@ fn decode_plan(args: &[Value]) -> (String, Vec<TxnOp>) {
         let op_args = args[i + 4..i + 4 + argc].to_vec();
         i += 4 + argc;
         ops.push(TxnOp {
-            actor: ActorId {
-                type_name,
-                key,
-            },
+            actor: ActorId { type_name, key },
             op,
             args: op_args,
         });
@@ -202,10 +201,8 @@ impl TxnCoordinator {
             Stage::Executing => {
                 if self.cursor < self.ops.len() {
                     let op = self.ops[self.cursor].clone();
-                    let mut args = vec![
-                        Value::from(self.txid.as_str()),
-                        Value::from(op.op.as_str()),
-                    ];
+                    let mut args =
+                        vec![Value::from(self.txid.as_str()), Value::from(op.op.as_str())];
                     args.extend(op.args);
                     ActorStep::Call {
                         target: op.actor,
@@ -256,8 +253,9 @@ impl ActorLogic for TxnCoordinator {
         }
         let (txid, ops) = decode_plan(args);
         let mut participants: Vec<ActorId> = ops.iter().map(|o| o.actor.clone()).collect();
-        participants.sort_by(|a, b| (a.type_name.as_str(), a.key.as_str())
-            .cmp(&(b.type_name.as_str(), b.key.as_str())));
+        participants.sort_by(|a, b| {
+            (a.type_name.as_str(), a.key.as_str()).cmp(&(b.type_name.as_str(), b.key.as_str()))
+        });
         participants.dedup();
         self.txid = txid;
         self.ops = ops;
@@ -376,7 +374,9 @@ pub fn transfer_plan(txid: &str, from: &str, to: &str, amount: i64) -> Vec<Value
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tca_models::actor::{ActorCompletion, ActorRouter, ActorSilo, Directory, DirectoryConfig, SiloConfig};
+    use tca_models::actor::{
+        ActorCompletion, ActorRouter, ActorSilo, Directory, DirectoryConfig, SiloConfig,
+    };
     use tca_sim::{Ctx, Payload, Process, ProcessId, Sim, SimDuration};
 
     struct Driver {
@@ -428,7 +428,10 @@ mod tests {
             sim.spawn(
                 node,
                 format!("silo{i}"),
-                ActorSilo::factory(transactional_bank_registry(100), SiloConfig::volatile(directory)),
+                ActorSilo::factory(
+                    transactional_bank_registry(100),
+                    SiloConfig::volatile(directory),
+                ),
             );
         }
         sim.spawn(nc, "driver", move |_| {

@@ -5,7 +5,7 @@
 //! delivered — enforcing cross-service causal consistency at the message
 //! layer, the way recent work proposes for microservice architectures.
 
-use std::collections::HashMap;
+use tca_sim::DetHashMap as HashMap;
 
 /// A vector clock over process indices.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -107,14 +107,11 @@ impl<T> CausalMailbox<T> {
     pub fn offer(&mut self, msg: CausalMessage<T>) -> Vec<CausalMessage<T>> {
         self.buffer.push(msg);
         let mut out = Vec::new();
-        loop {
-            let Some(pos) = self
-                .buffer
-                .iter()
-                .position(|m| Self::deliverable(&self.delivered, m))
-            else {
-                break;
-            };
+        while let Some(pos) = self
+            .buffer
+            .iter()
+            .position(|m| Self::deliverable(&self.delivered, m))
+        {
             let msg = self.buffer.remove(pos);
             self.delivered.merge(&msg.clock);
             out.push(msg);

@@ -6,9 +6,9 @@
 //! footprints, effect logs, outcome logs) and verify the claimed
 //! guarantee, rather than trusting the implementation.
 
-use std::collections::{HashMap, HashSet};
+use tca_sim::{DetHashMap as HashMap, DetHashSet as HashSet};
 
-use tca_storage::{TxFootprint, Timestamp, TxId};
+use tca_storage::{Timestamp, TxFootprint, TxId};
 
 /// Verdict of the serializability check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,7 +30,7 @@ pub enum SerializabilityVerdict {
 ///   than the one `T2` installed.
 pub fn check_serializability(footprints: &[TxFootprint]) -> SerializabilityVerdict {
     // Map key → sorted list of (commit_ts, tx) writers.
-    let mut writers: HashMap<&str, Vec<(Timestamp, TxId)>> = HashMap::new();
+    let mut writers: HashMap<&str, Vec<(Timestamp, TxId)>> = HashMap::default();
     for fp in footprints {
         for key in &fp.writes {
             writers.entry(key).or_default().push((fp.commit_ts, fp.tx));
@@ -39,7 +39,7 @@ pub fn check_serializability(footprints: &[TxFootprint]) -> SerializabilityVerdi
     for list in writers.values_mut() {
         list.sort_unstable();
     }
-    let mut edges: HashMap<TxId, HashSet<TxId>> = HashMap::new();
+    let mut edges: HashMap<TxId, HashSet<TxId>> = HashMap::default();
     let mut add_edge = |from: TxId, to: TxId| {
         if from != to {
             edges.entry(from).or_default().insert(to);
@@ -60,7 +60,7 @@ pub fn check_serializability(footprints: &[TxFootprint]) -> SerializabilityVerdi
             for &(write_ts, writer) in list {
                 use std::cmp::Ordering::*;
                 match write_ts.cmp(observed_ts) {
-                    Equal => add_edge(writer, fp.tx), // wr
+                    Equal => add_edge(writer, fp.tx),   // wr
                     Greater => add_edge(fp.tx, writer), // rw anti-dependency
                     Less => {}
                 }
@@ -179,10 +179,7 @@ impl EffectAudit {
     pub fn is_exactly_once(&self) -> bool {
         self.lost().is_empty()
             && self.duplicated().is_empty()
-            && self
-                .executions
-                .keys()
-                .all(|id| self.intended.contains(id))
+            && self.executions.keys().all(|id| self.intended.contains(id))
     }
 }
 
@@ -209,7 +206,11 @@ impl AtomicityAudit {
 
     /// Record a completed forward step of `unit`.
     pub fn step_done(&mut self, unit: u64, step: &str) {
-        self.units.entry(unit).or_default().done.push(step.to_owned());
+        self.units
+            .entry(unit)
+            .or_default()
+            .done
+            .push(step.to_owned());
     }
 
     /// Record a compensation of `step` of `unit`.
@@ -236,10 +237,7 @@ impl AtomicityAudit {
                 Some(true) => false,
                 Some(false) => {
                     // Every done step must be compensated.
-                    state
-                        .done
-                        .iter()
-                        .any(|s| !state.compensated.contains(s))
+                    state.done.iter().any(|s| !state.compensated.contains(s))
                 }
                 None => true, // stuck / in-doubt
             })
@@ -279,7 +277,10 @@ mod tests {
     fn serial_history_is_serializable() {
         // T1 writes x@1; T2 reads x@1, writes y@2.
         let h = vec![fp(1, 1, &[], &["x"]), fp(2, 2, &[("x", 1)], &["y"])];
-        assert_eq!(check_serializability(&h), SerializabilityVerdict::Serializable);
+        assert_eq!(
+            check_serializability(&h),
+            SerializabilityVerdict::Serializable
+        );
     }
 
     #[test]
@@ -288,10 +289,7 @@ mod tests {
         // rw: T1→T2 (T1 read 0, T2 wrote 2)? T1 wrote too: T1 read 0 and
         // T2 wrote 2>0 ⇒ T1→T2 (rw). T2 read 0 and T1 wrote 1>0 ⇒ T2→T1.
         // Cycle.
-        let h = vec![
-            fp(1, 1, &[("x", 0)], &["x"]),
-            fp(2, 2, &[("x", 0)], &["x"]),
-        ];
+        let h = vec![fp(1, 1, &[("x", 0)], &["x"]), fp(2, 2, &[("x", 0)], &["x"])];
         assert!(matches!(
             check_serializability(&h),
             SerializabilityVerdict::CyclicDependency(_)
@@ -302,10 +300,7 @@ mod tests {
     fn write_skew_cycle_detected() {
         // Classic SI write skew: T1 reads y@0 writes x; T2 reads x@0
         // writes y. rw both ways ⇒ cycle.
-        let h = vec![
-            fp(1, 1, &[("y", 0)], &["x"]),
-            fp(2, 2, &[("x", 0)], &["y"]),
-        ];
+        let h = vec![fp(1, 1, &[("y", 0)], &["x"]), fp(2, 2, &[("x", 0)], &["y"])];
         assert!(matches!(
             check_serializability(&h),
             SerializabilityVerdict::CyclicDependency(c) if c.len() == 2
@@ -321,12 +316,18 @@ mod tests {
             fp(2, 2, &[], &["x"]),
             fp(3, 3, &[("x", 2)], &["y"]),
         ];
-        assert_eq!(check_serializability(&h), SerializabilityVerdict::Serializable);
+        assert_eq!(
+            check_serializability(&h),
+            SerializabilityVerdict::Serializable
+        );
     }
 
     #[test]
     fn empty_history_serializable() {
-        assert_eq!(check_serializability(&[]), SerializabilityVerdict::Serializable);
+        assert_eq!(
+            check_serializability(&[]),
+            SerializabilityVerdict::Serializable
+        );
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //! Restrictions (as in Calvin): read and write sets must be declared
 //! up-front (`read_keys`), and writes may only target declared keys.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
+use tca_sim::DetHashMap as HashMap;
 
 use tca_messaging::rpc::{reply_to, RpcRequest};
 use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration};
@@ -45,8 +46,7 @@ impl DetRegistry {
     pub fn with(
         mut self,
         name: &str,
-        f: impl Fn(&[Value], &HashMap<String, Value>) -> Result<Vec<(String, Value)>, String>
-            + 'static,
+        f: impl Fn(&[Value], &HashMap<String, Value>) -> Result<Vec<(String, Value)>, String> + 'static,
     ) -> Self {
         self.procs.insert(name.to_owned(), Rc::new(f));
         self
@@ -220,12 +220,7 @@ impl DetShard {
                     .read_keys
                     .iter()
                     .filter(|k| owner_of(k, shard_count) == self.index)
-                    .map(|k| {
-                        (
-                            k.clone(),
-                            self.state.get(k).cloned().unwrap_or(Value::Null),
-                        )
-                    })
+                    .map(|k| (k.clone(), self.state.get(k).cloned().unwrap_or(Value::Null)))
                     .collect();
                 for (key, value) in &my_pairs {
                     head.reads.insert(key.clone(), value.clone());
@@ -243,7 +238,7 @@ impl DetShard {
                     }
                 }
                 head.shares_received += 1; // count self
-                // Merge any shares that arrived early.
+                                           // Merge any shares that arrived early.
                 if let Some(early) = self.early_shares.remove(&head.txn.id) {
                     // early is a flat list; each sender contributed one
                     // share — count senders by tracking in pairs chunks is
@@ -343,7 +338,7 @@ impl Process for DetShard {
                 self.queue.push_back(PendingTxn {
                     txn: txn.clone(),
                     participants,
-                    reads: HashMap::new(),
+                    reads: HashMap::default(),
                     shares_received: 0,
                     shares_sent: false,
                 });
@@ -396,9 +391,9 @@ pub fn deploy_deterministic(
                 registry: Rc::clone(&registry),
                 shards: Rc::clone(&shards),
                 index: i,
-                state: HashMap::new(),
+                state: HashMap::default(),
                 queue: VecDeque::new(),
-                early_shares: HashMap::new(),
+                early_shares: HashMap::default(),
             })
         });
         shard_pids.push(pid);

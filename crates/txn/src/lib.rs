@@ -30,14 +30,10 @@ pub use actor_txn::{
     TxnOp,
 };
 pub use causal::{CausalMailbox, CausalMessage, VectorClock};
-pub use checker::{
-    check_serializability, AtomicityAudit, EffectAudit, SerializabilityVerdict,
-};
+pub use checker::{check_serializability, AtomicityAudit, EffectAudit, SerializabilityVerdict};
 pub use deterministic::{
     deploy_deterministic, transfer_registry, DetRegistry, DetShard, Sequencer, SequencerConfig,
     SubmitTxn, TxnOutcome,
 };
 pub use saga::{SagaDef, SagaOrchestrator, SagaOutcome, SagaStep, StartSaga};
-pub use twopc::{
-    DtxOutcome, ParticipantConfig, StartDtx, TwoPcCoordinator, TwoPcParticipant,
-};
+pub use twopc::{DtxOutcome, ParticipantConfig, StartDtx, TwoPcCoordinator, TwoPcParticipant};

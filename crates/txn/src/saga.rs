@@ -14,8 +14,8 @@
 //! procedures should be idempotent or tolerate re-execution.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
+use tca_sim::DetHashMap as HashMap;
 
 use tca_messaging::rpc::{reply_to, RetryPolicy, RpcClient, RpcEvent, RpcRequest};
 use tca_models::microservice::Vars;
@@ -67,11 +67,7 @@ impl SagaStep {
     }
 
     /// Attach a compensation.
-    pub fn compensate(
-        mut self,
-        proc: &str,
-        args: impl Fn(&Vars) -> Vec<Value> + 'static,
-    ) -> Self {
+    pub fn compensate(mut self, proc: &str, args: impl Fn(&Vars) -> Vec<Value> + 'static) -> Self {
         self.compensation = Some((proc.to_owned(), Rc::new(args)));
         self
     }
@@ -144,9 +140,8 @@ pub struct SagaOrchestrator {
 impl SagaOrchestrator {
     /// Process factory; the journal survives crashes in the node disk.
     pub fn factory(defs: Vec<SagaDef>) -> impl FnMut(&mut Boot) -> Box<dyn Process> {
-        let defs: Rc<HashMap<String, SagaDef>> = Rc::new(
-            defs.into_iter().map(|d| (d.name.clone(), d)).collect(),
-        );
+        let defs: Rc<HashMap<String, SagaDef>> =
+            Rc::new(defs.into_iter().map(|d| (d.name.clone(), d)).collect());
         move |boot| {
             let journal: SagaJournal = boot.disk.get("saga_journal").unwrap_or_else(|| {
                 let j = SagaJournal::default();
@@ -155,7 +150,7 @@ impl SagaOrchestrator {
             });
             // Resume in-flight instances (no caller to answer anymore —
             // clients retry with a new request; dedup is their concern).
-            let mut instances = HashMap::new();
+            let mut instances = HashMap::default();
             let mut max_id = 0;
             for (&id, entry) in journal.inner.borrow().iter() {
                 max_id = max_id.max(id);
@@ -210,7 +205,11 @@ impl SagaOrchestrator {
                             return;
                         }
                         let step = &def.steps[instance.entry.cursor];
-                        (step.db, step.proc.clone(), (step.args)(&instance.entry.vars))
+                        (
+                            step.db,
+                            step.proc.clone(),
+                            (step.args)(&instance.entry.vars),
+                        )
                     }
                     Phase::Compensating => {
                         // Walk backward to the next step with a compensation.
@@ -662,8 +661,8 @@ mod tests {
         sim.run_for(SimDuration::from_millis(500));
         // All five sagas reach a terminal state: committed (possibly via
         // resume) — none stuck.
-        let done = sim.metrics().counter("saga.committed")
-            + sim.metrics().counter("saga.compensated");
+        let done =
+            sim.metrics().counter("saga.committed") + sim.metrics().counter("saga.compensated");
         assert!(done >= 5, "all sagas terminal, got {done}");
     }
 }

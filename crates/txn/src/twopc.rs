@@ -11,14 +11,14 @@
 //! those locks (experiment E3).
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+use tca_sim::{DetHashMap as HashMap, DetHashSet as HashSet};
 
 use tca_messaging::rpc::{reply_to, RpcRequest};
 use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration};
 use tca_storage::{
-    proc::run_proc_open, DurableCell, DurableLog, Engine, EngineConfig, ProcOutcome,
-    ProcRegistry, TxId, Value,
+    proc::run_proc_open, DurableCell, DurableLog, Engine, EngineConfig, ProcOutcome, ProcRegistry,
+    TxId, Value,
 };
 
 // ---------------------------------------------------------------------------
@@ -186,7 +186,7 @@ impl TwoPcParticipant {
             });
             let prepared_log: Rc<RefCell<HashSet<u64>>> =
                 boot.disk.get("prepared").unwrap_or_else(|| {
-                    let log: Rc<RefCell<HashSet<u64>>> = Rc::new(RefCell::new(HashSet::new()));
+                    let log: Rc<RefCell<HashSet<u64>>> = Rc::new(RefCell::new(HashSet::default()));
                     boot.disk.put("prepared", log.clone());
                     log
                 });
@@ -205,7 +205,7 @@ impl TwoPcParticipant {
                 config: config.clone(),
                 engine,
                 registry: Rc::clone(&registry),
-                branches: HashMap::new(),
+                branches: HashMap::default(),
                 seed: Rc::clone(&seed),
                 prepared_log,
             })
@@ -280,7 +280,13 @@ impl Process for TwoPcParticipant {
                 None => false, // timed out / unknown: vote NO
             };
             ctx.metrics().incr(&format!("{}.votes", self.name), 1);
-            ctx.send(from, Payload::new(Vote { txid: req.txid, yes }));
+            ctx.send(
+                from,
+                Payload::new(Vote {
+                    txid: req.txid,
+                    yes,
+                }),
+            );
         } else if let Some(req) = payload.downcast_ref::<DecisionReq>() {
             if let Some(branch) = self.branches.remove(&req.txid) {
                 for tx in branch.txs {
@@ -313,9 +319,7 @@ impl Process for TwoPcParticipant {
         let expired: Vec<u64> = self
             .branches
             .iter()
-            .filter(|(_, b)| {
-                b.state == BranchState::Executed && now.since(b.executed_at) > timeout
-            })
+            .filter(|(_, b)| b.state == BranchState::Executed && now.since(b.executed_at) > timeout)
             .map(|(&txid, _)| txid)
             .collect();
         for txid in expired {
@@ -327,7 +331,8 @@ impl Process for TwoPcParticipant {
                     .incr(&format!("{}.timeout_aborts", self.name), 1);
             }
         }
-        ctx.metrics().incr(&format!("{}.in_doubt_gauge", self.name), 0);
+        ctx.metrics()
+            .incr(&format!("{}.in_doubt_gauge", self.name), 0);
         let in_doubt = self.in_doubt() as u64;
         if in_doubt > 0 {
             ctx.metrics()
@@ -374,7 +379,7 @@ impl TwoPcCoordinator {
             let decisions: Rc<RefCell<HashMap<u64, bool>>> =
                 boot.disk.get("decisions").unwrap_or_else(|| {
                     let log: Rc<RefCell<HashMap<u64, bool>>> =
-                        Rc::new(RefCell::new(HashMap::new()));
+                        Rc::new(RefCell::new(HashMap::default()));
                     boot.disk.put("decisions", log.clone());
                     log
                 });
@@ -386,7 +391,7 @@ impl TwoPcCoordinator {
             // prepared branches of undecided txns stay blocked, which is
             // precisely the blocking window the experiment shows.
             Box::new(TwoPcCoordinator {
-                txns: HashMap::new(),
+                txns: HashMap::default(),
                 next_txid: (boot.now.as_nanos() << 8).max(1),
                 decisions,
             })
@@ -407,8 +412,7 @@ impl TwoPcCoordinator {
         if commit {
             self.decisions.borrow_mut().insert(txid, true);
         }
-        let participants: HashSet<ProcessId> =
-            dtx.branches.iter().map(|(p, _, _)| *p).collect();
+        let participants: HashSet<ProcessId> = dtx.branches.iter().map(|(p, _, _)| *p).collect();
         dtx.pending = participants.clone();
         for participant in participants {
             ctx.send(participant, Payload::new(DecisionReq { txid, commit }));
@@ -664,8 +668,8 @@ mod tests {
         assert_eq!(sim.metrics().counter("pa.commits"), 0);
         assert_eq!(sim.metrics().counter("pb.commits"), 0);
         // The successful branch (credit) was rolled back or timed out.
-        let undone = sim.metrics().counter("pb.rollbacks")
-            + sim.metrics().counter("pb.timeout_aborts");
+        let undone =
+            sim.metrics().counter("pb.rollbacks") + sim.metrics().counter("pb.timeout_aborts");
         assert!(undone >= 1, "credit branch undone");
     }
 

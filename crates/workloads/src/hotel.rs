@@ -161,8 +161,11 @@ mod tests {
     use tca_storage::{run_proc, DurableCell, DurableLog, Engine, EngineConfig, ProcOutcome};
 
     fn engine(scale: &HotelScale) -> Engine {
-        let mut engine =
-            Engine::new(EngineConfig::default(), DurableLog::new(), DurableCell::new());
+        let mut engine = Engine::new(
+            EngineConfig::default(),
+            DurableLog::new(),
+            DurableCell::new(),
+        );
         for (key, value) in seed(scale) {
             engine.load(&key, value);
         }

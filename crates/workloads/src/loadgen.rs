@@ -12,8 +12,8 @@
 //! deterministic transactions, service endpoints) through a payload
 //! factory and classify replies with a pluggable function.
 
-use std::collections::HashMap;
 use std::rc::Rc;
+use tca_sim::DetHashMap as HashMap;
 
 use tca_messaging::rpc::{RetryPolicy, RpcClient, RpcEvent};
 use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration, SimRng, SimTime};
@@ -28,9 +28,12 @@ pub type ResponseClassifier = Rc<dyn Fn(&Payload) -> bool>;
 pub fn db_classifier() -> ResponseClassifier {
     Rc::new(|payload| {
         use tca_storage::{DbReply, DbResponse};
-        payload
-            .downcast_ref::<DbReply>()
-            .is_some_and(|r| matches!(r.resp, DbResponse::CallOk { .. } | DbResponse::Committed { .. }))
+        payload.downcast_ref::<DbReply>().is_some_and(|r| {
+            matches!(
+                r.resp,
+                DbResponse::CallOk { .. } | DbResponse::Committed { .. }
+            )
+        })
     })
 }
 
@@ -91,7 +94,7 @@ impl ClosedLoopGen {
                 config: config.clone(),
                 rpc: RpcClient::new(),
                 issued: 0,
-                started: HashMap::new(),
+                started: HashMap::default(),
                 next_tag: 0,
             })
         }
@@ -108,7 +111,8 @@ impl ClosedLoopGen {
         let tag = self.next_tag;
         let body = (self.factory)(ctx.rng());
         self.started.insert(tag, ctx.now());
-        self.rpc.call(ctx, self.target, body, self.config.retry, tag);
+        self.rpc
+            .call(ctx, self.target, body, self.config.retry, tag);
     }
 
     fn complete(&mut self, ctx: &mut Ctx, tag: u64, ok: bool) {
@@ -222,7 +226,7 @@ impl OpenLoopGen {
                 config: config.clone(),
                 rpc: RpcClient::new(),
                 issued: 0,
-                started: HashMap::new(),
+                started: HashMap::default(),
                 next_tag: 0,
             })
         }

@@ -164,7 +164,11 @@ pub fn single_registry() -> ProcRegistry {
         tx.put("order_seq", Value::Int(next));
         tx.put(
             &format!("order/{next}"),
-            Value::List(vec![Value::Int(customer), Value::Int(total), Value::Str("created".into())]),
+            Value::List(vec![
+                Value::Int(customer),
+                Value::Int(total),
+                Value::Str("created".into()),
+            ]),
         );
         Ok(vec![Value::Int(next)])
     });
@@ -193,15 +197,10 @@ pub fn next_checkout(rng: &mut SimRng, scale: &MarketScale, hot_product_prob: f6
 /// Invariant audit over a quiesced marketplace database: no stock may be
 /// negative, and units sold (via order records) must not exceed units
 /// removed from stock plus initial stock — over-selling detection.
-pub fn count_oversold(
-    peek: impl Fn(&str) -> Option<Value>,
-    scale: &MarketScale,
-) -> i64 {
+pub fn count_oversold(peek: impl Fn(&str) -> Option<Value>, scale: &MarketScale) -> i64 {
     let mut oversold = 0;
     for p in 0..scale.products {
-        let remaining = peek(&format!("stock/{p}"))
-            .map(|v| v.as_int())
-            .unwrap_or(0);
+        let remaining = peek(&format!("stock/{p}")).map(|v| v.as_int()).unwrap_or(0);
         if remaining < 0 {
             oversold += -remaining;
         }
@@ -215,8 +214,11 @@ mod tests {
     use tca_storage::{run_proc, DurableCell, DurableLog, Engine, EngineConfig, ProcOutcome};
 
     fn engine(scale: &MarketScale) -> Engine {
-        let mut engine =
-            Engine::new(EngineConfig::default(), DurableLog::new(), DurableCell::new());
+        let mut engine = Engine::new(
+            EngineConfig::default(),
+            DurableLog::new(),
+            DurableCell::new(),
+        );
         for (key, value) in stock_seed(scale).into_iter().chain(payment_seed(scale)) {
             engine.load(&key, value);
         }

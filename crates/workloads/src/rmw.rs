@@ -67,10 +67,7 @@ impl RmwClient {
     }
 
     fn send(&mut self, ctx: &mut Ctx, req: DbRequest) {
-        ctx.send(
-            self.config.db,
-            Payload::new(DbMsg { token: 0, req }),
-        );
+        ctx.send(self.config.db, Payload::new(DbMsg { token: 0, req }));
     }
 
     fn start_txn(&mut self, ctx: &mut Ctx) {
@@ -165,10 +162,8 @@ impl Process for RmwClient {
             (Phase::Committing, DbResponse::Committed { .. }) => {
                 self.finish_attempt(ctx, true);
             }
-            (_, DbResponse::Aborted { .. }) => {
-                if self.phase != Phase::Done {
-                    self.finish_attempt(ctx, false);
-                }
+            (_, DbResponse::Aborted { .. }) if self.phase != Phase::Done => {
+                self.finish_attempt(ctx, false);
             }
             _ => {}
         }

@@ -175,7 +175,12 @@ pub fn next_txn(rng: &mut SimRng, scale: &TpccScale) -> (String, Vec<Value>) {
         let amount = rng.range(1, 5000) as i64;
         (
             "payment".into(),
-            vec![Value::Int(w), Value::Int(d), Value::Int(c), Value::Int(amount)],
+            vec![
+                Value::Int(w),
+                Value::Int(d),
+                Value::Int(c),
+                Value::Int(amount),
+            ],
         )
     }
 }
@@ -183,12 +188,15 @@ pub fn next_txn(rng: &mut SimRng, scale: &TpccScale) -> (String, Vec<Value>) {
 /// Consistency condition over a quiesced database: per district,
 /// `next_o_id - 1` must equal the number of order records; warehouse YTD
 /// must equal the sum of district YTDs (TPC-C conditions 1 & 2, lite).
-pub fn check_consistency(peek: impl Fn(&str) -> Option<Value>, scale: &TpccScale) -> Result<(), String> {
+pub fn check_consistency(
+    peek: impl Fn(&str) -> Option<Value>,
+    scale: &TpccScale,
+) -> Result<(), String> {
     for w in 0..scale.warehouses {
         let mut district_ytd_sum = 0i64;
         for d in 0..scale.districts {
-            let district = peek(&format!("d/{w}/{d}"))
-                .ok_or_else(|| format!("missing district {w}/{d}"))?;
+            let district =
+                peek(&format!("d/{w}/{d}")).ok_or_else(|| format!("missing district {w}/{d}"))?;
             let next_o_id = district.as_list()[0].as_int();
             district_ytd_sum += district.as_list()[1].as_int();
             for o in 1..next_o_id {
@@ -215,10 +223,14 @@ pub fn check_consistency(peek: impl Fn(&str) -> Option<Value>, scale: &TpccScale
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tca_storage::{Engine, EngineConfig, DurableCell, DurableLog, run_proc, ProcOutcome};
+    use tca_storage::{run_proc, DurableCell, DurableLog, Engine, EngineConfig, ProcOutcome};
 
     fn engine_with_seed(scale: &TpccScale) -> Engine {
-        let mut engine = Engine::new(EngineConfig::default(), DurableLog::new(), DurableCell::new());
+        let mut engine = Engine::new(
+            EngineConfig::default(),
+            DurableLog::new(),
+            DurableCell::new(),
+        );
         for (key, value) in seed(scale) {
             engine.load(&key, value);
         }
@@ -322,7 +334,10 @@ mod tests {
                 "{out:?}"
             );
         }
-        assert!((150..=350).contains(&new_orders), "mix ~50/50: {new_orders}");
+        assert!(
+            (150..=350).contains(&new_orders),
+            "mix ~50/50: {new_orders}"
+        );
         check_consistency(|k| engine.peek(k), &scale).expect("consistent");
     }
 

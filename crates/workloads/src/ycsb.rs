@@ -122,7 +122,10 @@ impl YcsbSampler {
                     // Read latest: most recent inserts are hottest.
                     let newest = self.records + self.inserted;
                     let back = self.zipf.sample(rng).min(newest.saturating_sub(1));
-                    ("ycsb_read".into(), vec![Value::Str(self.key(newest - 1 - back))])
+                    (
+                        "ycsb_read".into(),
+                        vec![Value::Str(self.key(newest - 1 - back))],
+                    )
                 } else {
                     let index = self.records + self.inserted;
                     self.inserted += 1;
@@ -164,8 +167,11 @@ mod tests {
     use tca_storage::{run_proc, DurableCell, DurableLog, Engine, EngineConfig, ProcOutcome};
 
     fn engine(scale: &YcsbScale) -> Engine {
-        let mut engine =
-            Engine::new(EngineConfig::default(), DurableLog::new(), DurableCell::new());
+        let mut engine = Engine::new(
+            EngineConfig::default(),
+            DurableLog::new(),
+            DurableCell::new(),
+        );
         for (key, value) in seed(scale) {
             engine.load(&key, value);
         }
@@ -238,7 +244,7 @@ mod tests {
             }
         }
         assert!(!inserts.is_empty());
-        let unique: std::collections::HashSet<_> = inserts.iter().collect();
+        let unique: tca_sim::DetHashSet<_> = inserts.iter().collect();
         assert_eq!(unique.len(), inserts.len(), "no duplicate inserted keys");
     }
 

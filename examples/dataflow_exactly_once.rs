@@ -70,12 +70,20 @@ fn run(mode: SinkMode, metric: &'static str) -> (u64, u64) {
 fn main() {
     println!("streaming 2000 payments through a crash at t=25ms…\n");
     let (alo, restores_a) = run(SinkMode::AtLeastOnce, "alo.committed");
-    println!("at-least-once sink : {alo} deliveries ({} rollback(s), {} duplicates)",
-        restores_a, alo.saturating_sub(2000));
+    println!(
+        "at-least-once sink : {alo} deliveries ({} rollback(s), {} duplicates)",
+        restores_a,
+        alo.saturating_sub(2000)
+    );
     let (exo, restores_b) = run(SinkMode::ExactlyOnce, "exo.committed");
-    println!("exactly-once sink  : {exo} deliveries ({} rollback(s), {} duplicates)",
-        restores_b, exo.saturating_sub(2000));
+    println!(
+        "exactly-once sink  : {exo} deliveries ({} rollback(s), {} duplicates)",
+        restores_b,
+        exo.saturating_sub(2000)
+    );
     assert!(alo >= 2000, "at-least-once must not lose payments");
     assert_eq!(exo, 2000, "exactly-once must deliver each payment once");
-    println!("\nexactly-once held through the failure; at-least-once re-emitted the rolled-back window.");
+    println!(
+        "\nexactly-once held through the failure; at-least-once re-emitted the rolled-back window."
+    );
 }

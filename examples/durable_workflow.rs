@@ -140,8 +140,14 @@ fn main() {
     let rejected = sim.metrics().counter("orders.rejected");
     println!("orders fulfilled : {fulfilled}");
     println!("orders rejected  : {rejected} (inventory runs out at 50 orders of 2)");
-    println!("instances resumed after crash: {}", sim.metrics().counter("statefun.resumed"));
-    println!("entity ops executed: {} (deduped replays don't re-execute)", sim.metrics().counter("statefun.entity_ops"));
+    println!(
+        "instances resumed after crash: {}",
+        sim.metrics().counter("statefun.resumed")
+    );
+    println!(
+        "entity ops executed: {} (deduped replays don't re-execute)",
+        sim.metrics().counter("statefun.entity_ops")
+    );
     if fulfilled + rejected != 60 {
         for &shard in &shards {
             if let Some(s) = sim.inspect::<tca::models::statefun::StatefunShard>(shard) {
@@ -150,6 +156,9 @@ fn main() {
         }
     }
     assert_eq!(fulfilled + rejected, 60, "every order reaches a verdict");
-    assert_eq!(fulfilled, 50, "inventory of 100 gadgets = exactly 50 orders of 2");
+    assert_eq!(
+        fulfilled, 50,
+        "inventory of 100 gadgets = exactly 50 orders of 2"
+    );
     println!("\nexactly-once held: inventory sold exactly matches orders fulfilled.");
 }

@@ -6,11 +6,11 @@
 //! cargo run --example quickstart
 //! ```
 
+use std::rc::Rc;
 use tca::sim::{Payload, Sim, SimDuration, SimTime};
 use tca::storage::{DbMsg, DbRequest, DbServer, DbServerConfig, ProcRegistry, Value};
 use tca::txn::saga::{SagaDef, SagaOrchestrator, SagaStep, StartSaga};
 use tca::workloads::loadgen::{ClosedLoopConfig, ClosedLoopGen};
-use std::rc::Rc;
 
 fn main() {
     let mut sim = Sim::with_seed(2024);
@@ -89,8 +89,10 @@ fn main() {
         SagaOrchestrator::factory(vec![SagaDef {
             name: "checkout".into(),
             steps: vec![
-                SagaStep::new("reserve", stock_db, "reserve", |v| vec![v.get("$0").clone()])
-                    .compensate("unreserve", |v| vec![v.get("$0").clone()]),
+                SagaStep::new("reserve", stock_db, "reserve", |v| {
+                    vec![v.get("$0").clone()]
+                })
+                .compensate("unreserve", |v| vec![v.get("$0").clone()]),
                 SagaStep::new("charge", pay_db, "charge", |v| {
                     vec![v.get("$1").clone(), v.get("$2").clone()]
                 }),
@@ -132,10 +134,22 @@ fn main() {
     sim.run_for(SimDuration::from_secs(5));
 
     println!("virtual time elapsed : {}", sim.now());
-    println!("checkouts committed  : {}", sim.metrics().counter("checkout.ok"));
-    println!("checkouts compensated: {}", sim.metrics().counter("checkout.err"));
-    println!("sagas resumed after crash: {}", sim.metrics().counter("saga.resumed"));
-    println!("compensations run    : {}", sim.metrics().counter("saga.compensations"));
+    println!(
+        "checkouts committed  : {}",
+        sim.metrics().counter("checkout.ok")
+    );
+    println!(
+        "checkouts compensated: {}",
+        sim.metrics().counter("checkout.err")
+    );
+    println!(
+        "sagas resumed after crash: {}",
+        sim.metrics().counter("saga.resumed")
+    );
+    println!(
+        "compensations run    : {}",
+        sim.metrics().counter("saga.compensations")
+    );
 
     // Audit: alice can afford exactly 20 checkouts (500 / 25); stock
     // compensations must have returned every failed reservation.

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Determinism gate: the experiments binary must produce byte-identical
+# output across two runs in separate processes. Any divergence means
+# nondeterminism leaked into the simulation (ambient randomness, hash
+# iteration order, wall-clock reads) and fails the build.
+#
+# Usage: scripts/determinism_gate.sh [seed]
+set -eu
+
+SEED="${1:-42}"
+OUT_A="$(mktemp)"
+OUT_B="$(mktemp)"
+trap 'rm -f "$OUT_A" "$OUT_B"' EXIT
+
+export CARGO_NET_OFFLINE=true
+cargo build -q -p tca-bench --bin experiments --release --offline
+
+./target/release/experiments --seed "$SEED" >"$OUT_A"
+./target/release/experiments --seed "$SEED" >"$OUT_B"
+
+if cmp -s "$OUT_A" "$OUT_B"; then
+    echo "DETERMINISM-OK: two seed=$SEED runs are byte-identical ($(wc -c <"$OUT_A") bytes)"
+else
+    echo "DETERMINISM-FAIL: same-seed runs diverged (seed=$SEED)" >&2
+    diff "$OUT_A" "$OUT_B" >&2 || true
+    exit 1
+fi

@@ -143,7 +143,10 @@ fn db_server_survives_repeated_crash_cycles_with_no_lost_commits() {
     // may exceed `acked` when a commit's reply was lost in a crash —
     // committed but reported failed to the client — but never the
     // reverse, and never by more than the failed count.)
-    assert!(counter >= acked, "acked {acked} > recovered counter {counter}");
+    assert!(
+        counter >= acked,
+        "acked {acked} > recovered counter {counter}"
+    );
     assert!(
         counter <= acked + failed,
         "counter {counter} exceeds all issued requests"

@@ -19,8 +19,14 @@ fn params(seed: u64) -> CellParams {
 fn same_seed_same_cell_report() {
     for (model, mechanism) in [
         (ProgrammingModel::Microservices, TxnMechanism::Saga),
-        (ProgrammingModel::Microservices, TxnMechanism::TwoPhaseCommit),
-        (ProgrammingModel::VirtualActors, TxnMechanism::ActorTransactions),
+        (
+            ProgrammingModel::Microservices,
+            TxnMechanism::TwoPhaseCommit,
+        ),
+        (
+            ProgrammingModel::VirtualActors,
+            TxnMechanism::ActorTransactions,
+        ),
         (
             ProgrammingModel::StatefulDataflow,
             TxnMechanism::DeterministicOrdering,
@@ -47,12 +53,13 @@ fn different_seeds_differ_somewhere() {
             TxnMechanism::Saga,
             &params(seed),
         );
-        if report.sim_seconds != run_cell(
-            ProgrammingModel::Microservices,
-            TxnMechanism::Saga,
-            &params(seed + 100),
-        )
-        .sim_seconds
+        if report.sim_seconds
+            != run_cell(
+                ProgrammingModel::Microservices,
+                TxnMechanism::Saga,
+                &params(seed + 100),
+            )
+            .sim_seconds
         {
             any_diff = true;
         }

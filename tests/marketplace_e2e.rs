@@ -169,7 +169,9 @@ fn checkout_saga_survives_orchestrator_and_service_crashes() {
     // Crash the saga orchestrator AND the stock DB at different times.
     let orch_node = tca::sim::NodeId(2);
     let stock_node = tca::sim::NodeId(0);
-    world.sim.schedule_crash(SimTime::from_nanos(5_000_000), orch_node);
+    world
+        .sim
+        .schedule_crash(SimTime::from_nanos(5_000_000), orch_node);
     world
         .sim
         .schedule_restart(SimTime::from_nanos(20_000_000), orch_node);
@@ -184,7 +186,7 @@ fn checkout_saga_survives_orchestrator_and_service_crashes() {
     // hold after recovery (saga journal + WAL recovery + idempotent
     // step re-execution).
     audit(&world);
-    let done = world.sim.metrics().counter("checkout.ok")
-        + world.sim.metrics().counter("checkout.err");
+    let done =
+        world.sim.metrics().counter("checkout.ok") + world.sim.metrics().counter("checkout.err");
     assert!(done > 100, "most checkouts reach a verdict: {done}");
 }

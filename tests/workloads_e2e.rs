@@ -6,7 +6,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use tca::sim::{Payload, Sim, SimDuration};
-use tca::storage::{DbMsg, DbRequest, DbServer, DbServerConfig, Value};
+use tca::storage::{DbMsg, DbRequest, DbServer, DbServerConfig};
 use tca::workloads::hotel::{check_no_overbooking, HotelScale};
 use tca::workloads::loadgen::{db_classifier, ClosedLoopConfig, ClosedLoopGen};
 use tca::workloads::ycsb::{YcsbSampler, YcsbScale, YcsbWorkload};
