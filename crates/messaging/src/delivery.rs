@@ -195,9 +195,17 @@ impl DedupReceiver {
                 }
             },
             DeliveryGuarantee::AtLeastOnce | DeliveryGuarantee::AtMostOnce => {
-                // No dedup: duplicates execute (and we count them for the
-                // correctness audit when the kernel duplicated them).
-                self.duplicates_executed += 1;
+                // No dedup: duplicates execute. But only *actual*
+                // duplicates (a seq seen before) count as such — the store
+                // tracks seen seqs here purely for accounting, without
+                // bumping its duplicate-hit counter (`contains`, not
+                // `check`: nothing was filtered).
+                if self.store.contains(from, command.seq) {
+                    self.duplicates_executed += 1;
+                    ctx.metrics().incr("recv.dup_executed", 1);
+                } else {
+                    self.store.record(from, command.seq, None);
+                }
                 Some(command.body.clone())
             }
         }
@@ -206,6 +214,12 @@ impl DedupReceiver {
     /// Duplicate commands filtered out so far (exactly-once only).
     pub fn deduped(&self) -> u64 {
         self.store.duplicate_hits()
+    }
+
+    /// Duplicate commands that were *executed* (at-most/at-least-once:
+    /// no filtering, so a re-delivered seq re-applies its effect).
+    pub fn duplicates_executed(&self) -> u64 {
+        self.duplicates_executed
     }
 }
 
@@ -221,6 +235,9 @@ mod tests {
         count: u64,
     }
     impl Process for CounterApp {
+        fn as_any(&self) -> Option<&dyn std::any::Any> {
+            Some(self)
+        }
         fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, payload: Payload) {
             if let Some(_body) = self.receiver.accept(ctx, from, &payload) {
                 self.count += 1;
@@ -255,6 +272,11 @@ mod tests {
     }
 
     fn run(guarantee: DeliveryGuarantee, net: NetworkConfig, n: u32) -> (u64, u64) {
+        let (sent, applied, _) = run_inspect(guarantee, net, n);
+        (sent, applied)
+    }
+
+    fn run_inspect(guarantee: DeliveryGuarantee, net: NetworkConfig, n: u32) -> (u64, u64, u64) {
         let mut sim = Sim::new(SimConfig {
             seed: 21,
             network: net,
@@ -275,9 +297,15 @@ mod tests {
             })
         });
         sim.run_for(SimDuration::from_secs(5));
+        let dup_executed = sim
+            .inspect::<CounterApp>(app)
+            .expect("app alive")
+            .receiver
+            .duplicates_executed();
         (
             sim.metrics().counter("producer.sent"),
             sim.metrics().counter("counter.applied"),
+            dup_executed,
         )
     }
 
@@ -318,6 +346,37 @@ mod tests {
             applied > sent,
             "retries should duplicate effects: applied={applied}"
         );
+    }
+
+    /// Regression (seed 21, clean network): `duplicates_executed` used to
+    /// increment on *every* applied command under at-most/at-least-once,
+    /// reporting 50 "duplicates" for 50 unique deliveries. Only actual
+    /// re-deliveries of a seen seq may count.
+    #[test]
+    fn regression_duplicates_executed_counts_only_real_duplicates() {
+        for g in [
+            DeliveryGuarantee::AtMostOnce,
+            DeliveryGuarantee::AtLeastOnce,
+        ] {
+            let (sent, applied, dup_executed) = run_inspect(g, NetworkConfig::default(), 50);
+            assert_eq!((sent, applied), (50, 50));
+            assert_eq!(dup_executed, 0, "{g}: no duplicates on a clean network");
+        }
+    }
+
+    /// With every cross-node message duplicated (seed 21, dup_prob = 1.0)
+    /// and no loss (so no retries), each of the 50 commands is applied
+    /// twice: 50 of the 100 applications are duplicates — exactly.
+    #[test]
+    fn duplicates_executed_matches_kernel_duplication() {
+        let (sent, applied, dup_executed) = run_inspect(
+            DeliveryGuarantee::AtLeastOnce,
+            NetworkConfig::lossy(0.0, 1.0),
+            50,
+        );
+        assert_eq!(sent, 50);
+        assert_eq!(applied, 100, "every command applied twice");
+        assert_eq!(dup_executed, 50, "half the applications are duplicates");
     }
 
     #[test]

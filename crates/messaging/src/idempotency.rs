@@ -69,6 +69,13 @@ impl IdempotencyStore {
         }
     }
 
+    /// Whether `(sender, key)` is remembered, *without* counting a
+    /// duplicate hit — for observers that track duplicates but still
+    /// execute them (e.g. at-least-once duplicate accounting).
+    pub fn contains(&self, sender: ProcessId, key: u64) -> bool {
+        self.seen.contains_key(&(sender, key))
+    }
+
     /// Number of duplicate detections so far.
     pub fn duplicate_hits(&self) -> u64 {
         self.hits

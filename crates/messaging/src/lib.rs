@@ -23,6 +23,7 @@ pub mod log;
 pub mod outbox;
 pub mod queue;
 pub mod rpc;
+pub mod torture;
 
 pub use broker::{Broker, BrokerConfig, BrokerMsg, BrokerReply, BrokerRequest, BrokerResponse};
 pub use delivery::{Command, CommandAck, DedupReceiver, DeliveryGuarantee, ReliableSender};
@@ -35,3 +36,4 @@ pub use queue::{
     Leased, QueueConfig, QueueMsg, QueueReply, QueueRequest, QueueResponse, QueueServer, QueueStore,
 };
 pub use rpc::{reply_to, CallId, RetryPolicy, RpcClient, RpcEvent, RpcReply, RpcRequest};
+pub use torture::delivery_torture_scenario;

@@ -405,6 +405,7 @@ impl ActorRouter {
                 }),
             );
             self.lookups.insert(token, vec![pending]);
+            self.arm_retry_timer(ctx);
         }
     }
 
@@ -447,7 +448,11 @@ impl ActorRouter {
     }
 
     fn arm_retry_timer(&mut self, ctx: &mut Ctx) {
-        if !self.retry_timer_armed && (!self.retry_parked.is_empty() || !self.failed.is_empty()) {
+        if !self.retry_timer_armed
+            && (!self.retry_parked.is_empty()
+                || !self.failed.is_empty()
+                || !self.lookups.is_empty())
+        {
             ctx.set_timer(SimDuration::from_millis(10), ROUTE_RETRY_TAG);
             self.retry_timer_armed = true;
         }
@@ -457,11 +462,49 @@ impl ActorRouter {
     pub fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) -> Option<Vec<ActorCompletion>> {
         if tag == ROUTE_RETRY_TAG {
             self.retry_timer_armed = false;
+            // Directory lookups ride plain messages, so a lost request or
+            // reply would otherwise strand every invocation queued on the
+            // token. Re-send outstanding lookups (the directory answers a
+            // duplicate token again; a stale reply finds no entry and is
+            // ignored), charging each queued invocation one attempt so an
+            // unreachable directory fails the call instead of looping.
+            let mut expired = Vec::new();
+            for (&token, queued) in self.lookups.iter_mut() {
+                for pending in queued.iter_mut() {
+                    pending.attempts += 1;
+                }
+                if queued.iter().all(|p| p.attempts >= self.max_moves) {
+                    expired.push(token);
+                } else if let Some(first) = queued.first() {
+                    ctx.metrics().incr("actor.lookup_retries", 1);
+                    ctx.send(
+                        self.directory,
+                        Payload::new(DirLookup {
+                            id: first.id.clone(),
+                            token,
+                        }),
+                    );
+                }
+            }
+            for token in expired {
+                let Some(queued) = self.lookups.remove(&token) else {
+                    continue;
+                };
+                for pending in queued {
+                    ctx.metrics().incr("actor.route_gave_up", 1);
+                    self.failed.push(ActorCompletion {
+                        user_tag: pending.user_tag,
+                        result: Err("directory unreachable".into()),
+                    });
+                }
+            }
             let parked: Vec<RoutePending> = self.retry_parked.drain(..).collect();
             for pending in parked {
                 self.dispatch(ctx, pending);
             }
-            return Some(std::mem::take(&mut self.failed));
+            let completions = std::mem::take(&mut self.failed);
+            self.arm_retry_timer(ctx);
+            return Some(completions);
         }
         let inner = self.rpc.on_timer(ctx, tag)?;
         Some(match inner {
@@ -588,6 +631,12 @@ const KIND_NESTED: u64 = 0;
 const KIND_LOAD: u64 = 1;
 const KIND_SAVE: u64 = 2;
 
+/// How many invocation outcomes a silo remembers for duplicate replay.
+const RECENT_INVOKES: usize = 4096;
+
+/// A finished invocation's result, cached for duplicate replay.
+type InvokeOutcome = Result<Vec<Value>, String>;
+
 /// The actor host process.
 pub struct ActorSilo {
     config: SiloConfig,
@@ -598,6 +647,16 @@ pub struct ActorSilo {
     db_ops: HashMap<u64, ActorId>,
     next_op: u64,
     db_rpc: RpcClient,
+    /// Recently admitted invocations, keyed by (caller, wire call id):
+    /// `None` while queued or running, `Some(outcome)` once replied. An
+    /// rpc retry after a lost reply re-delivers the same wire id; without
+    /// this cache the silo would re-execute a non-idempotent method
+    /// (double-applying a credit, say) instead of replaying the reply.
+    /// Wire ids are nonce-based per client incarnation, so entries never
+    /// collide across caller restarts.
+    recent_invokes: HashMap<(ProcessId, u64), Option<InvokeOutcome>>,
+    /// FIFO of `recent_invokes` keys, for bounded eviction.
+    recent_order: VecDeque<(ProcessId, u64)>,
 }
 
 impl ActorSilo {
@@ -616,6 +675,8 @@ impl ActorSilo {
                 db_ops: HashMap::default(),
                 next_op: 0,
                 db_rpc: RpcClient::new(),
+                recent_invokes: HashMap::default(),
+                recent_order: VecDeque::new(),
             })
         }
     }
@@ -755,7 +816,15 @@ impl ActorSilo {
         let Some(activation) = self.activations.get_mut(id) else {
             return;
         };
-        if let Some(job) = activation.current.take() {
+        let job = activation.current.take();
+        activation.phase = Phase::Idle;
+        activation.last_used = ctx.now();
+        if let Some(job) = job {
+            // Record the outcome before replying so a duplicate of this
+            // request replays the reply rather than re-executing.
+            if let Some(slot) = self.recent_invokes.get_mut(&(job.caller, job.rpc_call_id)) {
+                *slot = Some(result.clone());
+            }
             reply_to(
                 ctx,
                 job.caller,
@@ -766,8 +835,6 @@ impl ActorSilo {
                 Payload::new(ActorOutcome { result }),
             );
         }
-        activation.phase = Phase::Idle;
-        activation.last_used = ctx.now();
         ctx.metrics().incr("actor.invocations", 1);
         self.pump(ctx, id);
     }
@@ -889,6 +956,30 @@ impl Process for ActorSilo {
         let Some(invoke) = request.body.downcast_ref::<ActorInvoke>() else {
             return;
         };
+        // At-most-once execution: a retried request (lost reply) must not
+        // re-run the method.
+        let dedup_key = (from, request.call_id);
+        match self.recent_invokes.get(&dedup_key) {
+            Some(Some(result)) => {
+                ctx.metrics().incr("actor.invoke_dedup", 1);
+                reply_to(
+                    ctx,
+                    from,
+                    request,
+                    Payload::new(ActorOutcome {
+                        result: result.clone(),
+                    }),
+                );
+                return;
+            }
+            Some(None) => {
+                // First copy is still queued or running; its eventual
+                // reply carries the same wire id and will match.
+                ctx.metrics().incr("actor.invoke_dedup", 1);
+                return;
+            }
+            None => {}
+        }
         if !self.ensure_activation(ctx, &invoke.id) {
             reply_to(
                 ctx,
@@ -899,6 +990,13 @@ impl Process for ActorSilo {
                 }),
             );
             return;
+        }
+        self.recent_invokes.insert(dedup_key, None);
+        self.recent_order.push_back(dedup_key);
+        if self.recent_order.len() > RECENT_INVOKES {
+            if let Some(old) = self.recent_order.pop_front() {
+                self.recent_invokes.remove(&old);
+            }
         }
         let activation = self.activations.get_mut(&invoke.id).expect("activated");
         activation.queue.push_back(QueuedInvoke {

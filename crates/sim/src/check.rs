@@ -34,6 +34,7 @@ use std::fmt::Debug;
 use std::panic::{self, AssertUnwindSafe};
 use std::rc::Rc;
 
+use crate::faults::{FaultPlan, FaultProfile};
 use crate::rng::SimRng;
 
 /// Default number of generated cases per property (overridable with
@@ -361,6 +362,108 @@ fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "<non-string panic payload>".to_owned()
+    }
+}
+
+// ----- fault-plan torture sweeps --------------------------------------------
+
+/// Configuration for a [`torture`] sweep: which seeds to run and how many
+/// fault plans to generate per seed.
+///
+/// The environment overrides the scenario's defaults the same way
+/// `TCA_CHECK_SEED`/`TCA_CHECK_CASES` override [`Config`]:
+/// `TCA_TORTURE_SEEDS=N` sweeps seeds `0..N`, and `TCA_TORTURE_SEEDS=A..B`
+/// sweeps the half-open range `A..B` — which is also how a failure message
+/// pins its single reproducing seed (`TCA_TORTURE_SEEDS=41..42`).
+#[derive(Clone, Debug)]
+pub struct TortureConfig {
+    /// Simulation seeds to sweep.
+    pub seeds: std::ops::Range<u64>,
+    /// Randomised plans generated per seed, *in addition to* the benign
+    /// plan (plan 0) that every seed always runs first.
+    pub plans_per_seed: u32,
+    /// Bounds for plan generation.
+    pub profile: FaultProfile,
+}
+
+impl TortureConfig {
+    /// Sweep seeds `0..seeds` with `plans_per_seed` generated plans each,
+    /// unless `TCA_TORTURE_SEEDS` overrides the seed range.
+    pub fn from_env(seeds: u64, plans_per_seed: u32, profile: FaultProfile) -> Self {
+        let seeds = match std::env::var("TCA_TORTURE_SEEDS") {
+            Ok(spec) => parse_seed_range(&spec)
+                .unwrap_or_else(|| panic!("bad TCA_TORTURE_SEEDS {spec:?}: want N or A..B")),
+            Err(_) => 0..seeds,
+        };
+        TortureConfig {
+            seeds,
+            plans_per_seed,
+            profile,
+        }
+    }
+
+    /// Total seed × plan combinations this config will run.
+    pub fn combinations(&self) -> u64 {
+        (self.seeds.end - self.seeds.start) * (self.plans_per_seed as u64 + 1)
+    }
+}
+
+fn parse_seed_range(spec: &str) -> Option<std::ops::Range<u64>> {
+    if let Some((lo, hi)) = spec.split_once("..") {
+        let (lo, hi) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+        if lo < hi {
+            return Some(lo..hi);
+        }
+        return None;
+    }
+    spec.trim().parse().ok().map(|n| 0..n)
+}
+
+/// Run `scenario` under every seed × fault-plan combination in `config`,
+/// panicking on the first audit failure with the scenario name, the
+/// reproducing seed (and the `TCA_TORTURE_SEEDS` incantation to rerun just
+/// it), the plan index and description, and the audit error.
+///
+/// The scenario builds its own [`crate::Sim`] from `seed`, applies the
+/// plan (via [`FaultPlan::apply`]), drives the workload past the plan's
+/// horizon plus a grace period, and returns `Err(why)` when an invariant
+/// audit fails. Plan 0 for every seed is the benign (no-fault) plan, so a
+/// scenario broken on a clean network is reported as such rather than
+/// blamed on the faults.
+/// The exact plan the [`torture`] sweep runs as `(seed, plan_index)` —
+/// plan 0 is benign, the rest are derived from the seed alone (not the
+/// sweep position), so a pinned regression test can replay a sweep
+/// failure by naming the pair the report printed.
+pub fn torture_plan(seed: u64, plan_index: u32, profile: &FaultProfile) -> FaultPlan {
+    if plan_index == 0 {
+        FaultPlan::benign(profile.horizon)
+    } else {
+        let mut plan_rng = SimRng::new(seed ^ 0x70_27_0e_5e_ed ^ ((plan_index as u64) << 32));
+        // Node indices are reduced modulo the scenario's crashable list
+        // at apply time, so a fixed draw bound works for any topology.
+        FaultPlan::generate(&mut plan_rng, profile, 64)
+    }
+}
+
+pub fn torture(
+    name: &str,
+    config: &TortureConfig,
+    scenario: impl Fn(u64, &FaultPlan) -> Result<(), String>,
+) {
+    for seed in config.seeds.clone() {
+        for plan_index in 0..=config.plans_per_seed {
+            let plan = torture_plan(seed, plan_index, &config.profile);
+            if let Err(error) = scenario(seed, &plan) {
+                panic!(
+                    "torture scenario '{name}' failed\n\
+                     \x20 seed:   {seed} (rerun with TCA_TORTURE_SEEDS={seed}..{next})\n\
+                     \x20 plan:   #{plan_index} [{describe}]\n\
+                     \x20 error:  {error}",
+                    next = seed + 1,
+                    describe = plan.describe(),
+                );
+            }
+        }
     }
 }
 

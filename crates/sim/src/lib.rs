@@ -33,6 +33,7 @@
 
 pub mod check;
 pub mod detmap;
+pub mod faults;
 pub mod kernel;
 pub mod metrics;
 pub mod network;
@@ -43,10 +44,12 @@ pub mod time;
 pub mod trace;
 pub mod wire;
 
+pub use check::{torture, torture_plan, TortureConfig};
 pub use detmap::{DetHashMap, DetHashSet, DetState};
+pub use faults::{FaultEvent, FaultPlan, FaultProfile};
 pub use kernel::{Sim, SimConfig};
 pub use metrics::{Histogram, Metrics};
-pub use network::{Network, NetworkConfig};
+pub use network::{Network, NetworkConfig, ScriptedFate};
 pub use payload::Payload;
 pub use proc::{Boot, Ctx, Disk, NodeId, Process, ProcessId, TimerId};
 pub use rng::{SimRng, Zipf};

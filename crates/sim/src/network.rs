@@ -6,7 +6,7 @@
 //! fourth failure mode that distinguishes blocking protocols such as 2PC
 //! from sagas (§4.2). All four are first-class here.
 
-use crate::detmap::DetHashSet as HashSet;
+use crate::detmap::{DetHashMap as HashMap, DetHashSet as HashSet};
 
 use crate::proc::NodeId;
 use crate::rng::SimRng;
@@ -63,11 +63,33 @@ pub(crate) enum Fate {
     Drop,
 }
 
+/// A scripted fate for one specific message, overriding the random draw.
+///
+/// Fault plans and regression tests use these to hit *exactly* the
+/// message they mean to: "drop the 3rd message coordinator→participant"
+/// is deterministic because send order on a link is protocol order,
+/// independent of latency jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptedFate {
+    /// Silently drop the message.
+    Drop,
+    /// Deliver it twice (latencies still sampled from the RNG).
+    Duplicate,
+    /// Deliver once, this much *later* than the sampled latency — the
+    /// stale-packet hazard (a message overtaken by the protocol's own
+    /// later traffic) made deterministic.
+    Delay(SimDuration),
+}
+
 /// Runtime network state: configuration plus currently blocked links.
 pub struct Network {
     config: NetworkConfig,
     /// Symmetric blocked (a, b) node pairs with a < b.
     cuts: HashSet<(NodeId, NodeId)>,
+    /// Directed per-link message counters (cross-node sends only).
+    link_counts: HashMap<(NodeId, NodeId), u64>,
+    /// (src, dst, nth-on-link) → scripted override, consumed on match.
+    scripts: HashMap<(NodeId, NodeId, u64), ScriptedFate>,
 }
 
 fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
@@ -84,6 +106,8 @@ impl Network {
         Network {
             config,
             cuts: HashSet::default(),
+            link_counts: HashMap::default(),
+            scripts: HashMap::default(),
         }
     }
 
@@ -118,13 +142,48 @@ impl Network {
         a != b && self.cuts.contains(&ordered(a, b))
     }
 
+    /// Script the fate of the `nth` cross-node message sent from `src` to
+    /// `dst` (0-based, counted in send order on that directed link). The
+    /// override is consumed when that message is routed and takes
+    /// precedence over the random loss/duplication draw — partitions
+    /// still drop it.
+    pub fn script_fate(&mut self, src: NodeId, dst: NodeId, nth: u64, fate: ScriptedFate) {
+        self.scripts.insert((src, dst, nth), fate);
+    }
+
+    /// Cross-node messages routed so far on the directed link `src → dst`.
+    pub fn link_count(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.link_counts.get(&(src, dst)).copied().unwrap_or(0)
+    }
+
     /// Decide the fate of one message from `src` to `dst`.
-    pub(crate) fn route(&self, rng: &mut SimRng, src: NodeId, dst: NodeId) -> Fate {
+    pub(crate) fn route(&mut self, rng: &mut SimRng, src: NodeId, dst: NodeId) -> Fate {
         if src == dst {
             // Loopback: reliable, fast, in-order enough for our purposes.
             return Fate::Deliver(self.config.local_latency);
         }
-        if self.is_blocked(src, dst) || rng.chance(self.config.drop_prob) {
+        let nth = {
+            let count = self.link_counts.entry((src, dst)).or_insert(0);
+            let nth = *count;
+            *count += 1;
+            nth
+        };
+        if self.is_blocked(src, dst) {
+            return Fate::Drop;
+        }
+        // Scripted overrides bypass the loss draw but must not perturb
+        // the RNG stream of unscripted runs, so the drop draw happens
+        // only on the unscripted path.
+        if let Some(scripted) = self.scripts.remove(&(src, dst, nth)) {
+            return match scripted {
+                ScriptedFate::Drop => Fate::Drop,
+                ScriptedFate::Duplicate => {
+                    Fate::Duplicate(self.sample_latency(rng), self.sample_latency(rng))
+                }
+                ScriptedFate::Delay(extra) => Fate::Deliver(self.sample_latency(rng) + extra),
+            };
+        }
+        if rng.chance(self.config.drop_prob) {
             return Fate::Drop;
         }
         let lat = self.sample_latency(rng);
@@ -155,7 +214,7 @@ mod tests {
 
     #[test]
     fn loopback_is_reliable_even_when_lossy() {
-        let net = Network::new(NetworkConfig::lossy(1.0, 1.0));
+        let mut net = Network::new(NetworkConfig::lossy(1.0, 1.0));
         let mut r = rng();
         for _ in 0..10 {
             assert_eq!(
@@ -167,7 +226,7 @@ mod tests {
 
     #[test]
     fn full_drop_probability_drops_everything() {
-        let net = Network::new(NetworkConfig::lossy(1.0, 0.0));
+        let mut net = Network::new(NetworkConfig::lossy(1.0, 0.0));
         let mut r = rng();
         for _ in 0..10 {
             assert_eq!(net.route(&mut r, NodeId(0), NodeId(1)), Fate::Drop);
@@ -176,7 +235,7 @@ mod tests {
 
     #[test]
     fn duplication_produces_two_latencies() {
-        let net = Network::new(NetworkConfig::lossy(0.0, 1.0));
+        let mut net = Network::new(NetworkConfig::lossy(0.0, 1.0));
         let mut r = rng();
         match net.route(&mut r, NodeId(0), NodeId(1)) {
             Fate::Duplicate(a, b) => {
@@ -189,7 +248,7 @@ mod tests {
 
     #[test]
     fn latency_within_bounds() {
-        let net = Network::new(NetworkConfig::default());
+        let mut net = Network::new(NetworkConfig::default());
         let mut r = rng();
         for _ in 0..1000 {
             match net.route(&mut r, NodeId(0), NodeId(1)) {
@@ -218,10 +277,50 @@ mod tests {
     }
 
     #[test]
+    fn scripted_fates_hit_exact_messages_and_are_consumed() {
+        let mut net = Network::new(NetworkConfig::default());
+        net.script_fate(NodeId(0), NodeId(1), 1, ScriptedFate::Drop);
+        net.script_fate(NodeId(0), NodeId(1), 2, ScriptedFate::Duplicate);
+        let mut r = rng();
+        assert!(matches!(
+            net.route(&mut r, NodeId(0), NodeId(1)),
+            Fate::Deliver(_)
+        ));
+        assert_eq!(net.route(&mut r, NodeId(0), NodeId(1)), Fate::Drop);
+        assert!(matches!(
+            net.route(&mut r, NodeId(0), NodeId(1)),
+            Fate::Duplicate(_, _)
+        ));
+        // Consumed: the same ordinals on a fresh pass are unaffected.
+        assert!(matches!(
+            net.route(&mut r, NodeId(0), NodeId(1)),
+            Fate::Deliver(_)
+        ));
+        // The reverse direction counts separately.
+        assert_eq!(net.link_count(NodeId(0), NodeId(1)), 4);
+        assert_eq!(net.link_count(NodeId(1), NodeId(0)), 0);
+    }
+
+    #[test]
+    fn scripted_delay_adds_to_the_sampled_latency() {
+        let mut net = Network::new(NetworkConfig::default());
+        let extra = SimDuration::from_millis(50);
+        net.script_fate(NodeId(0), NodeId(1), 0, ScriptedFate::Delay(extra));
+        let mut r = rng();
+        match net.route(&mut r, NodeId(0), NodeId(1)) {
+            Fate::Deliver(l) => {
+                assert!(l >= net.config().latency_min + extra);
+                assert!(l < net.config().latency_max + extra);
+            }
+            other => panic!("expected delayed delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn degenerate_latency_range() {
         let mut cfg = NetworkConfig::default();
         cfg.latency_max = cfg.latency_min;
-        let net = Network::new(cfg);
+        let mut net = Network::new(cfg);
         let mut r = rng();
         assert_eq!(
             net.route(&mut r, NodeId(0), NodeId(1)),

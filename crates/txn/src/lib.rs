@@ -23,6 +23,7 @@ pub mod causal;
 pub mod checker;
 pub mod deterministic;
 pub mod saga;
+pub mod torture;
 pub mod twopc;
 
 pub use actor_txn::{
@@ -36,4 +37,7 @@ pub use deterministic::{
     SubmitTxn, TxnOutcome,
 };
 pub use saga::{SagaDef, SagaOrchestrator, SagaOutcome, SagaStep, StartSaga};
-pub use twopc::{DtxOutcome, ParticipantConfig, StartDtx, TwoPcCoordinator, TwoPcParticipant};
+pub use torture::{actor_torture_scenario, saga_torture_scenario, twopc_torture_scenario};
+pub use twopc::{
+    CoordinatorConfig, DtxOutcome, ParticipantConfig, StartDtx, TwoPcCoordinator, TwoPcParticipant,
+};

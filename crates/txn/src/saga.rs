@@ -140,6 +140,17 @@ pub struct SagaOrchestrator {
 impl SagaOrchestrator {
     /// Process factory; the journal survives crashes in the node disk.
     pub fn factory(defs: Vec<SagaDef>) -> impl FnMut(&mut Boot) -> Box<dyn Process> {
+        Self::factory_with_retry(defs, RetryPolicy::retrying(6, SimDuration::from_millis(10)))
+    }
+
+    /// Like [`SagaOrchestrator::factory`] but with an explicit step retry
+    /// policy. Torture runs use a generous budget so a partition window
+    /// longer than the default 60 ms of retries does not masquerade as a
+    /// logical step failure (which would trigger spurious compensation).
+    pub fn factory_with_retry(
+        defs: Vec<SagaDef>,
+        retry: RetryPolicy,
+    ) -> impl FnMut(&mut Boot) -> Box<dyn Process> {
         let defs: Rc<HashMap<String, SagaDef>> =
             Rc::new(defs.into_iter().map(|d| (d.name.clone(), d)).collect());
         move |boot| {
@@ -162,15 +173,29 @@ impl SagaOrchestrator {
                     },
                 );
             }
+            // Instance ids must be unique across restarts, not just within
+            // one incarnation: step idempotency keys are derived from the
+            // instance id, so a restarted orchestrator that reused the id
+            // of a saga that finished (and was erased) before the crash
+            // would collide with its keys — and the databases would replay
+            // the dead saga's cached step replies instead of executing.
+            // Epoch the counter on boot time, like the 2PC coordinator.
+            let epoch = boot.now.as_nanos() << 8;
             Box::new(SagaOrchestrator {
                 defs: Rc::clone(&defs),
                 rpc: RpcClient::new(),
                 journal,
                 instances,
-                next_instance: max_id + 1,
-                retry: RetryPolicy::retrying(6, SimDuration::from_millis(10)),
+                next_instance: max_id.max(epoch) + 1,
+                retry,
             })
         }
+    }
+
+    /// Number of saga instances not yet terminal — the no-stuck audit:
+    /// after faults heal and the system quiesces, this must be zero.
+    pub fn open_instances(&self) -> usize {
+        self.instances.len()
     }
 
     fn persist(&self, id: u64) {
@@ -407,6 +432,10 @@ impl Process for SagaOrchestrator {
         if let Some(Some(event)) = self.rpc.on_timer(ctx, tag) {
             self.handle_db_event(ctx, event);
         }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

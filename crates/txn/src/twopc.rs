@@ -81,6 +81,18 @@ pub struct DecisionAck {
     pub txid: u64,
 }
 
+/// Participant → coordinator: "I am prepared for `txid` and have heard no
+/// decision — what happened?" The termination protocol that unblocks
+/// prepared branches once the coordinator is reachable again: the
+/// coordinator answers with a [`DecisionReq`] — the journaled/in-progress
+/// decision if it knows the transaction, otherwise abort (presumed abort:
+/// an unjournaled, unknown txid cannot have committed).
+#[derive(Debug, Clone)]
+pub struct DecisionInquiry {
+    /// Global transaction id.
+    pub txid: u64,
+}
+
 /// Client request (inside an [`RpcRequest`]): run a distributed
 /// transaction over `(participant, proc, args)` branches.
 #[derive(Debug, Clone)]
@@ -110,6 +122,13 @@ pub struct ParticipantConfig {
     pub execute_timeout: SimDuration,
     /// Commit/abort apply latency (fsync).
     pub decide_latency: SimDuration,
+    /// Ask the coordinator for the outcome of a branch that has been
+    /// prepared this long without hearing a decision (checked on the
+    /// sweep timer, so the effective delay is rounded up to a sweep
+    /// tick). Prepared branches still *block* — only an answer from the
+    /// coordinator releases them — but inquiring is what makes recovery
+    /// eventual instead of hoping a decision retry gets through.
+    pub decision_inquiry_after: SimDuration,
 }
 
 impl Default for ParticipantConfig {
@@ -117,11 +136,16 @@ impl Default for ParticipantConfig {
         ParticipantConfig {
             execute_timeout: SimDuration::from_millis(100),
             decide_latency: SimDuration::from_micros(100),
+            decision_inquiry_after: SimDuration::from_millis(150),
         }
     }
 }
 
 const SWEEP_TAG: u64 = 0x2bc0_0001;
+
+/// How many recently decided txids a participant remembers (bounded FIFO)
+/// to reject ExecuteReqs that arrive after their transaction was decided.
+const RECENTLY_DECIDED_CAP: usize = 4096;
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum BranchState {
@@ -136,6 +160,10 @@ struct Branch {
     txs: Vec<TxId>,
     state: BranchState,
     executed_at: tca_sim::SimTime,
+    /// When the branch entered the prepared state (meaningless before).
+    prepared_at: tca_sim::SimTime,
+    /// Who to ask for the decision (the coordinator that drove execute).
+    coordinator: ProcessId,
 }
 
 /// A 2PC participant: local engine + protocol state machine.
@@ -150,6 +178,11 @@ pub struct TwoPcParticipant {
     /// recovery these remain in doubt — simplified: we only journal,
     /// full prepared-state recovery is out of scope).
     prepared_log: Rc<RefCell<HashSet<u64>>>,
+    /// Recently decided txids (bounded FIFO). An ExecuteReq for one of
+    /// these is *late* — the decision overtook it in the network — and
+    /// must be rejected instead of acquiring locks nobody will release.
+    recently_decided: HashSet<u64>,
+    recently_decided_order: std::collections::VecDeque<u64>,
 }
 
 impl TwoPcParticipant {
@@ -208,16 +241,29 @@ impl TwoPcParticipant {
                 branches: HashMap::default(),
                 seed: Rc::clone(&seed),
                 prepared_log,
+                recently_decided: HashSet::default(),
+                recently_decided_order: std::collections::VecDeque::new(),
             })
         }
     }
 
     /// Number of branches currently blocked in the prepared state.
-    fn in_doubt(&self) -> usize {
+    pub fn in_doubt(&self) -> usize {
         self.branches
             .values()
             .filter(|b| b.state == BranchState::Prepared)
             .count()
+    }
+
+    fn remember_decided(&mut self, txid: u64) {
+        if self.recently_decided.insert(txid) {
+            self.recently_decided_order.push_back(txid);
+            if self.recently_decided_order.len() > RECENTLY_DECIDED_CAP {
+                if let Some(old) = self.recently_decided_order.pop_front() {
+                    self.recently_decided.remove(&old);
+                }
+            }
+        }
     }
 
     /// Direct engine peek for tests.
@@ -242,6 +288,24 @@ impl Process for TwoPcParticipant {
 
     fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, payload: Payload) {
         if let Some(req) = payload.downcast_ref::<ExecuteReq>() {
+            // A decision (typically an abort racing ahead on an
+            // independent network path) may overtake the ExecuteReq that
+            // started the branch. Executing now would acquire locks for a
+            // transaction that is already over — nobody would ever
+            // release them.
+            if self.recently_decided.contains(&req.txid) {
+                ctx.metrics()
+                    .incr(&format!("{}.late_execute_aborts", self.name), 1);
+                ctx.send(
+                    from,
+                    Payload::new(ExecuteResp {
+                        txid: req.txid,
+                        branch: req.branch,
+                        result: Err("txid already decided".into()),
+                    }),
+                );
+                return;
+            }
             let result = match run_proc_open(&mut self.engine, &self.registry, &req.proc, &req.args)
             {
                 Ok((tx, values)) => {
@@ -252,6 +316,8 @@ impl Process for TwoPcParticipant {
                             txs: Vec::new(),
                             state: BranchState::Executed,
                             executed_at: now,
+                            prepared_at: now,
+                            coordinator: from,
                         })
                         .txs
                         .push(tx);
@@ -273,7 +339,11 @@ impl Process for TwoPcParticipant {
         } else if let Some(req) = payload.downcast_ref::<PrepareReq>() {
             let yes = match self.branches.get_mut(&req.txid) {
                 Some(branch) => {
+                    if branch.state != BranchState::Prepared {
+                        branch.prepared_at = ctx.now();
+                    }
                     branch.state = BranchState::Prepared;
+                    branch.coordinator = from;
                     self.prepared_log.borrow_mut().insert(req.txid);
                     true
                 }
@@ -288,6 +358,7 @@ impl Process for TwoPcParticipant {
                 }),
             );
         } else if let Some(req) = payload.downcast_ref::<DecisionReq>() {
+            self.remember_decided(req.txid);
             if let Some(branch) = self.branches.remove(&req.txid) {
                 for tx in branch.txs {
                     if req.commit {
@@ -331,6 +402,24 @@ impl Process for TwoPcParticipant {
                     .incr(&format!("{}.timeout_aborts", self.name), 1);
             }
         }
+        // Termination protocol: prepared branches that have blocked past
+        // the inquiry threshold ask their coordinator what the decision
+        // was. The inquiry is idempotent (the answer is a DecisionReq, and
+        // decisions are idempotent), so re-asking every sweep is safe.
+        let inquiry_after = self.config.decision_inquiry_after;
+        let mut inquiries = 0u64;
+        for (&txid, branch) in &self.branches {
+            if branch.state == BranchState::Prepared
+                && now.since(branch.prepared_at) > inquiry_after
+            {
+                ctx.send(branch.coordinator, Payload::new(DecisionInquiry { txid }));
+                inquiries += 1;
+            }
+        }
+        if inquiries > 0 {
+            ctx.metrics()
+                .incr(&format!("{}.inquiries", self.name), inquiries);
+        }
         ctx.metrics()
             .incr(&format!("{}.in_doubt_gauge", self.name), 0);
         let in_doubt = self.in_doubt() as u64;
@@ -353,6 +442,34 @@ enum DtxPhase {
     Deciding,
 }
 
+/// Coordinator configuration: retry cadence and phase deadlines.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Sweep interval: unacked PrepareReq/DecisionReq messages are resent
+    /// each tick, and phase deadlines are checked.
+    pub retry_interval: SimDuration,
+    /// Abort a transaction whose execute phase outlives this (a lost
+    /// ExecuteReq/ExecuteResp; re-executing is not idempotent, so the
+    /// coordinator aborts rather than retries).
+    pub execute_deadline: SimDuration,
+    /// Abort a transaction whose prepare phase outlives this even with
+    /// retries (a participant is down or unreachable; aborting is always
+    /// safe before the decision).
+    pub prepare_deadline: SimDuration,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            retry_interval: SimDuration::from_millis(20),
+            execute_deadline: SimDuration::from_millis(80),
+            prepare_deadline: SimDuration::from_millis(80),
+        }
+    }
+}
+
+const COORD_SWEEP_TAG: u64 = 0x2bc0_0002;
+
 struct Dtx {
     branches: Vec<(ProcessId, String, Vec<Value>)>,
     phase: DtxPhase,
@@ -362,40 +479,80 @@ struct Dtx {
     error: Option<String>,
     caller: Option<(ProcessId, u64)>,
     started: tca_sim::SimTime,
+    /// When the current phase was entered (drives deadlines).
+    phase_since: tca_sim::SimTime,
 }
+
+/// The durable decision journal: txid → (commit?, participants).
+///
+/// Presumed abort means only COMMIT entries are written; journaling the
+/// participant list alongside the decision is what lets a *restarted*
+/// coordinator resend an undelivered commit instead of leaving prepared
+/// participants blocked forever.
+type DecisionJournal = Rc<RefCell<HashMap<u64, (bool, Vec<ProcessId>)>>>;
 
 /// The 2PC coordinator process.
 pub struct TwoPcCoordinator {
+    config: CoordinatorConfig,
     txns: HashMap<u64, Dtx>,
     next_txid: u64,
-    /// Durable decision log: txid → commit?
-    decisions: Rc<RefCell<HashMap<u64, bool>>>,
+    decisions: DecisionJournal,
 }
 
 impl TwoPcCoordinator {
-    /// Process factory; the decision log survives coordinator crashes.
+    /// Process factory with default timeouts; the decision journal
+    /// survives coordinator crashes.
     pub fn factory() -> impl FnMut(&mut Boot) -> Box<dyn Process> {
+        Self::factory_with(CoordinatorConfig::default())
+    }
+
+    /// Process factory with explicit timeouts.
+    pub fn factory_with(config: CoordinatorConfig) -> impl FnMut(&mut Boot) -> Box<dyn Process> {
         move |boot| {
-            let decisions: Rc<RefCell<HashMap<u64, bool>>> =
-                boot.disk.get("decisions").unwrap_or_else(|| {
-                    let log: Rc<RefCell<HashMap<u64, bool>>> =
-                        Rc::new(RefCell::new(HashMap::default()));
-                    boot.disk.put("decisions", log.clone());
-                    log
-                });
+            let decisions: DecisionJournal = boot.disk.get("decisions").unwrap_or_else(|| {
+                let log: DecisionJournal = Rc::new(RefCell::new(HashMap::default()));
+                boot.disk.put("decisions", log.clone());
+                log
+            });
             // A restarted coordinator has lost its volatile transaction
-            // table: undecided transactions are presumed aborted, but it
-            // no longer knows the participants. Real systems journal the
-            // participant list too; we journal decisions only and rely on
-            // participant execute-timeouts for unprepared branches —
-            // prepared branches of undecided txns stay blocked, which is
-            // precisely the blocking window the experiment shows.
+            // table. Journaled (= committed, undelivered) transactions are
+            // rebuilt in the Deciding phase from the journal's participant
+            // lists and their decisions resent from on_start; everything
+            // else is presumed aborted — unprepared branches die by
+            // participant execute-timeout, prepared ones by the decision
+            // inquiry (answered "abort" for unknown txids).
+            let mut txns: HashMap<u64, Dtx> = HashMap::default();
+            for (&txid, (commit, participants)) in decisions.borrow().iter() {
+                txns.insert(
+                    txid,
+                    Dtx {
+                        branches: participants
+                            .iter()
+                            .map(|&p| (p, String::new(), Vec::new()))
+                            .collect(),
+                        phase: DtxPhase::Deciding,
+                        pending: participants.iter().copied().collect(),
+                        pending_branches: HashSet::default(),
+                        commit: *commit,
+                        error: None,
+                        caller: None,
+                        started: boot.now,
+                        phase_since: boot.now,
+                    },
+                );
+            }
             Box::new(TwoPcCoordinator {
-                txns: HashMap::default(),
+                config: config.clone(),
+                txns,
                 next_txid: (boot.now.as_nanos() << 8).max(1),
                 decisions,
             })
         }
+    }
+
+    /// Transactions the coordinator still considers open (audit hook).
+    pub fn open_dtxs(&self) -> usize {
+        self.txns.len()
     }
 
     fn decide(&mut self, ctx: &mut Ctx, txid: u64, commit: bool, error: Option<String>) {
@@ -403,16 +560,20 @@ impl TwoPcCoordinator {
             return;
         };
         dtx.phase = DtxPhase::Deciding;
+        dtx.phase_since = ctx.now();
         dtx.commit = commit;
         if error.is_some() {
             dtx.error = error;
         }
-        // Presumed abort: only COMMIT decisions must be durable before
-        // release.
-        if commit {
-            self.decisions.borrow_mut().insert(txid, true);
-        }
         let participants: HashSet<ProcessId> = dtx.branches.iter().map(|(p, _, _)| *p).collect();
+        // Presumed abort: only COMMIT decisions must be durable before
+        // release — journaled with the participant list so a restarted
+        // coordinator can finish delivery.
+        if commit {
+            let mut list: Vec<ProcessId> = participants.iter().copied().collect();
+            list.sort();
+            self.decisions.borrow_mut().insert(txid, (true, list));
+        }
         dtx.pending = participants.clone();
         for participant in participants {
             ctx.send(participant, Payload::new(DecisionReq { txid, commit }));
@@ -450,6 +611,30 @@ impl TwoPcCoordinator {
 }
 
 impl Process for TwoPcCoordinator {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        // Resend journaled decisions rebuilt by the factory (first boot
+        // has none). Retries continue from the sweep timer until acked.
+        for (&txid, dtx) in &self.txns {
+            if dtx.phase == DtxPhase::Deciding {
+                for &participant in &dtx.pending {
+                    ctx.metrics().incr("dtx.decision_resends", 1);
+                    ctx.send(
+                        participant,
+                        Payload::new(DecisionReq {
+                            txid,
+                            commit: dtx.commit,
+                        }),
+                    );
+                }
+            }
+        }
+        ctx.set_timer(self.config.retry_interval, COORD_SWEEP_TAG);
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, payload: Payload) {
         if let Some(request) = payload.downcast_ref::<RpcRequest>() {
             let Some(start) = request.body.downcast_ref::<StartDtx>() else {
@@ -468,6 +653,7 @@ impl Process for TwoPcCoordinator {
                 error: None,
                 caller: Some((from, request.call_id)),
                 started: ctx.now(),
+                phase_since: ctx.now(),
             };
             for (branch, (participant, proc, args)) in dtx.branches.iter().enumerate() {
                 ctx.send(
@@ -496,6 +682,7 @@ impl Process for TwoPcCoordinator {
                     if dtx.pending_branches.is_empty() {
                         // Phase 2: prepare everywhere.
                         dtx.phase = DtxPhase::Preparing;
+                        dtx.phase_since = ctx.now();
                         let participants: HashSet<ProcessId> =
                             dtx.branches.iter().map(|(p, _, _)| *p).collect();
                         dtx.pending = participants.clone();
@@ -534,7 +721,84 @@ impl Process for TwoPcCoordinator {
             if dtx.pending.is_empty() {
                 self.finish(ctx, txid);
             }
+        } else if let Some(inquiry) = payload.downcast_ref::<DecisionInquiry>() {
+            let txid = inquiry.txid;
+            match self.txns.get(&txid) {
+                // Decided: answer with the decision (the ack path then
+                // clears this participant from pending as usual).
+                Some(dtx) if dtx.phase == DtxPhase::Deciding => {
+                    let commit = dtx.commit;
+                    ctx.send(from, Payload::new(DecisionReq { txid, commit }));
+                }
+                // Still executing/preparing: stay silent — the retry sweep
+                // is driving this transaction forward, and presuming abort
+                // here could contradict the commit it is about to reach.
+                Some(_) => {}
+                None => {
+                    // Not in the volatile table. If the journal has it the
+                    // decision was COMMIT (transient window before the
+                    // factory rebuild — answer truthfully); otherwise
+                    // presumed abort: no journal entry means no commit.
+                    let journaled = self.decisions.borrow().get(&txid).map(|(c, _)| *c);
+                    let commit = journaled.unwrap_or(false);
+                    if !commit {
+                        ctx.metrics().incr("dtx.presumed_aborts", 1);
+                    }
+                    ctx.send(from, Payload::new(DecisionReq { txid, commit }));
+                }
+            }
         }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+        if tag != COORD_SWEEP_TAG {
+            return;
+        }
+        let now = ctx.now();
+        // Resend what is unacked; collect transactions past their phase
+        // deadline for abort (decide() needs &mut self, so after the scan).
+        let mut expired: Vec<(u64, &'static str)> = Vec::new();
+        for (&txid, dtx) in &self.txns {
+            match dtx.phase {
+                DtxPhase::Executing => {
+                    // ExecuteReqs are not idempotent (re-running the
+                    // procedure would double-apply or self-conflict), so
+                    // a stalled execute phase is aborted, not retried.
+                    if now.since(dtx.phase_since) > self.config.execute_deadline {
+                        expired.push((txid, "execute deadline"));
+                    }
+                }
+                DtxPhase::Preparing => {
+                    if now.since(dtx.phase_since) > self.config.prepare_deadline {
+                        expired.push((txid, "prepare deadline"));
+                    } else {
+                        for &participant in &dtx.pending {
+                            ctx.metrics().incr("dtx.prepare_resends", 1);
+                            ctx.send(participant, Payload::new(PrepareReq { txid }));
+                        }
+                    }
+                }
+                DtxPhase::Deciding => {
+                    // Decisions retry forever: they are idempotent and the
+                    // transaction cannot finish until every ack arrives.
+                    for &participant in &dtx.pending {
+                        ctx.metrics().incr("dtx.decision_resends", 1);
+                        ctx.send(
+                            participant,
+                            Payload::new(DecisionReq {
+                                txid,
+                                commit: dtx.commit,
+                            }),
+                        );
+                    }
+                }
+            }
+        }
+        for (txid, why) in expired {
+            ctx.metrics().incr("dtx.deadline_aborts", 1);
+            self.decide(ctx, txid, false, Some(why.into()));
+        }
+        ctx.set_timer(self.config.retry_interval, COORD_SWEEP_TAG);
     }
 }
 

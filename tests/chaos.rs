@@ -5,11 +5,13 @@
 
 use std::rc::Rc;
 
-use tca::messaging::{DedupReceiver, DeliveryGuarantee, ReliableSender};
+use tca::messaging::{delivery_torture_scenario, DedupReceiver, DeliveryGuarantee, ReliableSender};
 use tca::sim::{
-    Ctx, NetworkConfig, Payload, Process, ProcessId, Sim, SimConfig, SimDuration, SimTime,
+    torture, torture_plan, Ctx, FaultProfile, NetworkConfig, Payload, Process, ProcessId, Sim,
+    SimConfig, SimDuration, SimTime, TortureConfig,
 };
 use tca::storage::{DbMsg, DbRequest, DbServer, DbServerConfig, ProcRegistry, Value};
+use tca::txn::{actor_torture_scenario, saga_torture_scenario};
 use tca::workloads::loadgen::{db_classifier, ClosedLoopConfig, ClosedLoopGen};
 
 struct Producer {
@@ -151,4 +153,101 @@ fn db_server_survives_repeated_crash_cycles_with_no_lost_commits() {
         counter <= acked + failed,
         "counter {counter} exceeds all issued requests"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Fault-plan torture sweeps (see tca_sim::faults). Each scenario audits
+// atomicity / conservation / exactly-once / no-stuck-locks after every
+// fault in the plan has healed; failures print the reproducing seed and
+// plan. The 2PC sweep lives in tests/torture_2pc.rs with its pinned
+// regressions. Widen any sweep with TCA_TORTURE_SEEDS=100.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn saga_torture_sweep() {
+    // Orchestrator crash-restarts, partitions, ambient loss/duplication:
+    // sagas must end terminal with stock and money conserved.
+    let config = TortureConfig::from_env(6, 3, FaultProfile::default());
+    torture("saga", &config, saga_torture_scenario);
+}
+
+#[test]
+fn delivery_torture_sweep() {
+    // No endpoint crashes (sender/receiver delivery state is volatile by
+    // design); partitions and loss/duplication only.
+    let config = TortureConfig::from_env(6, 3, FaultProfile::default());
+    torture("delivery", &config, delivery_torture_scenario);
+}
+
+#[test]
+fn actor_torture_sweep() {
+    // The app-level actor transaction protocol has no durable log, so the
+    // profile stays inside what it claims to survive: bounded loss and
+    // duplication (silos dedup retried invocations), but no crashes or
+    // partitions — volatile actor state cannot outlive its silo.
+    let profile = FaultProfile {
+        max_crash_cycles: 0,
+        max_partition_windows: 0,
+        max_drop_prob: 0.04,
+        ..FaultProfile::default()
+    };
+    let config = TortureConfig::from_env(6, 3, profile);
+    torture("actor-txn", &config, actor_torture_scenario);
+}
+
+// ---------------------------------------------------------------------------
+// Pinned regressions for bugs the sweeps flushed out. Each replays the
+// exact (seed, plan) pair the torture report printed, under the profile
+// in force when the bug was found, so the failure is deterministic.
+// ---------------------------------------------------------------------------
+
+/// The actor sweep profile as it was when the two actor bugs below were
+/// found (duplication was off; loss alone triggered both).
+fn actor_profile_as_found() -> FaultProfile {
+    FaultProfile {
+        max_crash_cycles: 0,
+        max_partition_windows: 0,
+        max_drop_prob: 0.04,
+        max_dup_prob: 0.0,
+        ..FaultProfile::default()
+    }
+}
+
+#[test]
+fn regression_actor_lost_directory_lookup_is_retried() {
+    // Found by the actor torture sweep at seed 2, plan #2 (drop=0.036).
+    // The router sent DirLookup as a plain message with no retry, so one
+    // dropped lookup (or its DirLocation reply) stranded the invocation
+    // forever: the driver wedged with 3 of 6 transfers unresolved. The
+    // route-retry timer now re-sends outstanding lookups, charging each
+    // queued invocation an attempt so a dead directory still fails the
+    // call instead of hanging it.
+    let plan = torture_plan(2, 2, &actor_profile_as_found());
+    actor_torture_scenario(2, &plan).expect("lookup loss must not wedge invocations");
+}
+
+#[test]
+fn regression_actor_invoke_retry_is_deduplicated() {
+    // Found by the actor torture sweep at seed 1, plan #1 (drop=0.035).
+    // A lost ActorInvoke *reply* made the router's rpc layer re-deliver
+    // the request, and the silo re-executed a non-idempotent credit —
+    // minting 20 units (balances summed to 220, expected 200). Silos now
+    // remember (caller, wire id) outcomes and replay the recorded reply
+    // for duplicates instead of re-running the method.
+    let plan = torture_plan(1, 1, &actor_profile_as_found());
+    actor_torture_scenario(1, &plan).expect("invoke retries must not double-apply");
+}
+
+#[test]
+fn regression_saga_instance_ids_survive_orchestrator_restart() {
+    // Found by the saga torture sweep at seed 2, plan #2 (rerun with
+    // TCA_TORTURE_SEEDS=2..3). An orchestrator crash after every journaled
+    // saga had finished (journal empty) restarted the instance counter at
+    // 1, reusing a dead saga's id; the deterministic step wire ids then
+    // collided, the database's idempotency cache replayed the dead saga's
+    // recorded replies, and a fresh saga "committed" with no real effect
+    // (6 committed but stock moved 5 and balance moved 50). Instance ids
+    // are now epoched on boot time, like 2PC transaction ids.
+    let plan = torture_plan(2, 2, &FaultProfile::default());
+    saga_torture_scenario(2, &plan).expect("replayed ids must not fake saga commits");
 }
