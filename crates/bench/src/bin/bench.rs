@@ -7,7 +7,13 @@
 //! cargo run -p tca-bench --bin bench --release -- --filter tpcc  # subset
 //! cargo run -p tca-bench --bin bench --release -- --quick        # CI smoke
 //! cargo run -p tca-bench --bin bench --release -- --json BENCH_local.json
+//! cargo run -p tca-bench --bin bench --release -- --trace-out trace.json
 //! ```
+//!
+//! `--trace-out PATH` runs one traced saga cell (seed 42) and writes the
+//! recorded span tree as Chrome-trace JSON — open it at
+//! `chrome://tracing` or <https://ui.perfetto.dev>. Combine with
+//! `--trace-cell 2pc|saga|actor-txn` to pick the mechanism.
 //!
 //! Covers the taxonomy cells ({model × mechanism} transfer workloads,
 //! F1/E1/E3/E7 hot paths), engine commit paths per isolation level (E11),
@@ -19,7 +25,7 @@
 use std::time::Duration;
 
 use tca_bench::harness::Bench;
-use tca_core::cell::{run_cell, CellParams};
+use tca_core::cell::{run_cell, run_cell_traced, CellParams};
 use tca_core::taxonomy::{ProgrammingModel, TxnMechanism};
 use tca_sim::{SimRng, Zipf};
 use tca_storage::{
@@ -199,6 +205,33 @@ fn main() {
             .position(|a| a == name)
             .and_then(|pos| args.get(pos + 1).cloned())
     };
+    if let Some(path) = flag_value("--trace-out") {
+        let (model, mechanism) = match flag_value("--trace-cell").as_deref() {
+            Some("2pc") => (
+                ProgrammingModel::Microservices,
+                TxnMechanism::TwoPhaseCommit,
+            ),
+            Some("actor-txn") => (
+                ProgrammingModel::VirtualActors,
+                TxnMechanism::ActorTransactions,
+            ),
+            Some("saga") | None => (ProgrammingModel::Microservices, TxnMechanism::Saga),
+            Some(other) => panic!("unknown --trace-cell `{other}` (2pc|saga|actor-txn)"),
+        };
+        let params = CellParams {
+            seed: 42,
+            transfers: 50,
+            ..CellParams::default()
+        };
+        let (report, json) = run_cell_traced(model, mechanism, &params);
+        std::fs::write(&path, json).expect("write trace");
+        println!(
+            "wrote Chrome trace of {} ({} transfers) to {path}",
+            report.label,
+            report.committed + report.failed
+        );
+        return;
+    }
     let mut bench = Bench::new().filter(flag_value("--filter"));
     if args.iter().any(|a| a == "--quick") {
         bench = bench

@@ -95,6 +95,11 @@ fn main() {
             ex::e14_entity_locks,
         ),
         ("e15", "E15: causal delivery (§5.2/[26])", ex::e15_causal),
+        (
+            "e16",
+            "E16: latency breakdown via span tracing (§5.1)",
+            ex::e16_latency_breakdown,
+        ),
     ];
 
     for (name, title, f) in suite {

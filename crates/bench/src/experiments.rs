@@ -2,13 +2,13 @@
 //!
 //! The paper is a tutorial with a single figure (the taxonomy) and no
 //! result tables, so each experiment regenerates either the figure (F1)
-//! or one of the paper's explicit comparative claims (E1–E15). Every
+//! or one of the paper's explicit comparative claims (E1–E16). Every
 //! function is deterministic given its seed and returns the rows it
 //! prints, so `EXPERIMENTS.md` can quote them verbatim.
 
 use std::rc::Rc;
 
-use tca_core::cell::{run_cell, CellParams};
+use tca_core::cell::{run_cell, run_cell_traced, CellParams};
 use tca_core::taxonomy::{profile, render_matrix, ProgrammingModel, TxnMechanism};
 use tca_messaging::delivery::{DedupReceiver, DeliveryGuarantee, ReliableSender};
 use tca_messaging::rpc::RetryPolicy;
@@ -1681,4 +1681,59 @@ pub fn e15_causal(seed: u64) -> Vec<Row> {
             .col("delivered", d2)
             .col("notify-before-post", i2),
     ]
+}
+
+// ---------------------------------------------------------------------------
+// E16 — latency breakdown via causal span tracing
+// ---------------------------------------------------------------------------
+
+/// E16: where does a transfer's latency go? Traced cell runs attribute
+/// virtual time to protocol stages — network hops, queue waits, lock
+/// waits, 2PC phases, saga steps, actor invocations — and report
+/// per-kind percentiles next to the client-observed latency. The run is
+/// also the no-perturbation proof: committed/failed counts must match
+/// the untraced run of the same seed exactly.
+pub fn e16_latency_breakdown(seed: u64) -> Vec<Row> {
+    let params = CellParams {
+        seed,
+        transfers: 200,
+        ..CellParams::default()
+    };
+    let cells = [
+        (
+            ProgrammingModel::Microservices,
+            TxnMechanism::TwoPhaseCommit,
+        ),
+        (ProgrammingModel::Microservices, TxnMechanism::Saga),
+        (
+            ProgrammingModel::VirtualActors,
+            TxnMechanism::ActorTransactions,
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (model, mechanism) in cells {
+        let untraced = run_cell(model, mechanism, &params);
+        let (report, _json) = run_cell_traced(model, mechanism, &params);
+        assert_eq!(
+            (untraced.committed, untraced.failed),
+            (report.committed, report.failed),
+            "tracing perturbed the {} schedule",
+            report.label
+        );
+        rows.push(
+            Row::new(format!("{} (client view)", report.label))
+                .col("n", report.committed + report.failed)
+                .col("p50", ms(report.p50_ms))
+                .col("p99", ms(report.p99_ms)),
+        );
+        for (kind, hist) in &report.breakdown {
+            rows.push(
+                Row::new(format!("  {}", kind.name()))
+                    .col("spans", hist.count())
+                    .col("p50", ms(hist.p50().as_nanos() as f64 / 1e6))
+                    .col("p95", ms(hist.quantile(0.95).as_nanos() as f64 / 1e6)),
+            );
+        }
+    }
+    rows
 }

@@ -1,11 +1,12 @@
 //! # `tca-bench` — experiment harness
 //!
-//! One function per experiment in `DESIGN.md` (F1, E1–E15), each
+//! One function per experiment in `DESIGN.md` (F1, E1–E16), each
 //! deterministic given a seed, plus the `experiments` binary that prints
 //! them and the in-tree wall-clock bench harness (`harness` module, run
 //! via the `bench` binary) mirroring the hot paths.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod experiments;
 pub mod harness;

@@ -17,7 +17,7 @@ use tca_models::actor::{
     DirectoryConfig, SiloConfig,
 };
 use tca_models::statefun::{shard_for, spawn_shards, EntityId, StartOrchestration, StatefunApp};
-use tca_sim::{Ctx, Payload, Process, ProcessId, Sim, SimDuration, SimRng};
+use tca_sim::{Ctx, Histogram, Payload, Process, ProcessId, Sim, SimDuration, SimRng, SpanKind};
 use tca_storage::{DbMsg, DbRequest, DbServer, DbServerConfig, ProcRegistry, Value};
 use tca_txn::deterministic::{deploy_deterministic, SequencerConfig, SubmitTxn, TxnOutcome};
 use tca_txn::saga::{SagaDef, SagaOrchestrator, SagaOutcome, SagaStep, StartSaga};
@@ -43,6 +43,8 @@ pub struct CellParams {
     pub hot_prob: f64,
     /// Virtual-time budget for the run.
     pub budget: SimDuration,
+    /// Record causal spans during the run (fills [`CellReport::breakdown`]).
+    pub trace: bool,
 }
 
 impl Default for CellParams {
@@ -54,6 +56,7 @@ impl Default for CellParams {
             transfers: 400,
             hot_prob: 0.0,
             budget: SimDuration::from_secs(30),
+            trace: false,
         }
     }
 }
@@ -77,6 +80,10 @@ pub struct CellReport {
     pub p99_ms: f64,
     /// Whether total money was conserved (None = not auditable here).
     pub conserved: Option<bool>,
+    /// Virtual-time latency attribution per span kind (empty unless the
+    /// run was traced): one histogram of completed-span durations per
+    /// [`SpanKind`] observed.
+    pub breakdown: Vec<(SpanKind, Histogram)>,
 }
 
 fn account_key(i: u64) -> String {
@@ -127,7 +134,17 @@ fn finish_report(label: &str, sim: &Sim, metric: &str, conserved: Option<bool>) 
         p50_ms,
         p99_ms,
         conserved,
+        breakdown: sim.tracer().breakdown(),
     }
+}
+
+/// Build the cell's simulator, honouring the tracing knob.
+fn cell_sim(params: &CellParams) -> Sim {
+    let mut sim = Sim::with_seed(params.seed);
+    if params.trace {
+        sim.set_tracing(true);
+    }
+    sim
 }
 
 /// Run a taxonomy cell. Panics on unsupported combinations — use
@@ -138,6 +155,30 @@ pub fn run_cell(
     mechanism: TxnMechanism,
     params: &CellParams,
 ) -> CellReport {
+    run_cell_inner(model, mechanism, params).0
+}
+
+/// Run a taxonomy cell with tracing forced on, returning the report
+/// (with its [`CellReport::breakdown`] populated) and the recorded spans
+/// exported as Chrome-trace JSON — load it at `chrome://tracing` or
+/// <https://ui.perfetto.dev>.
+pub fn run_cell_traced(
+    model: ProgrammingModel,
+    mechanism: TxnMechanism,
+    params: &CellParams,
+) -> (CellReport, String) {
+    let mut traced = params.clone();
+    traced.trace = true;
+    let (report, sim) = run_cell_inner(model, mechanism, &traced);
+    let json = sim.chrome_trace();
+    (report, json)
+}
+
+fn run_cell_inner(
+    model: ProgrammingModel,
+    mechanism: TxnMechanism,
+    params: &CellParams,
+) -> (CellReport, Sim) {
     match (model, mechanism) {
         (ProgrammingModel::Microservices, TxnMechanism::Saga) => run_saga_cell(params),
         (ProgrammingModel::Microservices, TxnMechanism::TwoPhaseCommit) => run_2pc_cell(params),
@@ -210,8 +251,8 @@ fn audit_db_sum(sim: &Sim, dbs: &[ProcessId], params: &CellParams) -> Option<boo
     Some(sum == params.accounts as i64 * INITIAL_BALANCE)
 }
 
-fn run_saga_cell(params: &CellParams) -> CellReport {
-    let mut sim = Sim::with_seed(params.seed);
+fn run_saga_cell(params: &CellParams) -> (CellReport, Sim) {
+    let mut sim = cell_sim(params);
     let n1 = sim.add_node();
     let n2 = sim.add_node();
     let n3 = sim.add_node();
@@ -270,13 +311,16 @@ fn run_saga_cell(params: &CellParams) -> CellReport {
     );
     sim.run_for(params.budget);
     let conserved = audit_db_sum(&sim, &[db], params);
-    finish_report("microservices+saga", &sim, "cell", conserved)
+    (
+        finish_report("microservices+saga", &sim, "cell", conserved),
+        sim,
+    )
 }
 
 // --- microservices + 2pc -----------------------------------------------------
 
-fn run_2pc_cell(params: &CellParams) -> CellReport {
-    let mut sim = Sim::with_seed(params.seed);
+fn run_2pc_cell(params: &CellParams) -> (CellReport, Sim) {
+    let mut sim = cell_sim(params);
     let n1 = sim.add_node();
     let n2 = sim.add_node();
     let n3 = sim.add_node();
@@ -371,7 +415,10 @@ fn run_2pc_cell(params: &CellParams) -> CellReport {
             _ => None,
         }
     };
-    finish_report("microservices+2pc", &sim, "cell", conserved)
+    (
+        finish_report("microservices+2pc", &sim, "cell", conserved),
+        sim,
+    )
 }
 
 // --- actors ------------------------------------------------------------------
@@ -474,8 +521,8 @@ impl Process for ActorTransferDriver {
     }
 }
 
-fn run_actor_cell(params: &CellParams, transactional: bool) -> CellReport {
-    let mut sim = Sim::with_seed(params.seed);
+fn run_actor_cell(params: &CellParams, transactional: bool) -> (CellReport, Sim) {
+    let mut sim = cell_sim(params);
     let nd = sim.add_node();
     let ndb = sim.add_node();
     let ns1 = sim.add_node();
@@ -515,7 +562,7 @@ fn run_actor_cell(params: &CellParams, transactional: bool) -> CellReport {
     } else {
         "actors+none"
     };
-    finish_report(label, &sim, "cell", None)
+    (finish_report(label, &sim, "cell", None), sim)
 }
 
 // --- stateful functions --------------------------------------------------------
@@ -664,8 +711,8 @@ impl Process for StatefunDriver {
     }
 }
 
-fn run_statefun_cell(params: &CellParams, locked: bool) -> CellReport {
-    let mut sim = Sim::with_seed(params.seed);
+fn run_statefun_cell(params: &CellParams, locked: bool) -> (CellReport, Sim) {
+    let mut sim = cell_sim(params);
     let nodes = sim.add_nodes(2);
     let shards = spawn_shards(&mut sim, &nodes, &statefun_bank_app(locked), 2);
     let nc = sim.add_node();
@@ -687,13 +734,13 @@ fn run_statefun_cell(params: &CellParams, locked: bool) -> CellReport {
     } else {
         "statefun+none"
     };
-    finish_report(label, &sim, "cell", None)
+    (finish_report(label, &sim, "cell", None), sim)
 }
 
 // --- deterministic dataflow ------------------------------------------------------
 
-fn run_deterministic_cell(params: &CellParams) -> CellReport {
-    let mut sim = Sim::with_seed(params.seed);
+fn run_deterministic_cell(params: &CellParams) -> (CellReport, Sim) {
+    let mut sim = cell_sim(params);
     let nodes = sim.add_nodes(3);
     let registry = tca_txn::deterministic::transfer_registry();
     let (sequencer, shards) =
@@ -759,7 +806,10 @@ fn run_deterministic_cell(params: &CellParams) -> CellReport {
             None
         }
     };
-    finish_report("dataflow+deterministic", &sim, "cell", conserved)
+    (
+        finish_report("dataflow+deterministic", &sim, "cell", conserved),
+        sim,
+    )
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod cell;
 pub mod taxonomy;

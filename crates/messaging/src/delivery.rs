@@ -16,7 +16,7 @@
 
 use tca_sim::DetHashMap as HashMap;
 
-use tca_sim::{Ctx, Payload, ProcessId, SimDuration};
+use tca_sim::{Ctx, Payload, ProcessId, SimDuration, SpanId, SpanKind};
 
 use crate::idempotency::{Dedup, IdempotencyStore};
 
@@ -65,6 +65,8 @@ struct Outstanding {
     dest: ProcessId,
     body: Payload,
     attempts_left: u32,
+    /// Trace span from first send to ack or give-up.
+    span: Option<SpanId>,
 }
 
 /// Sender half: embed in a process, forward `on_message`/`on_timer`.
@@ -96,6 +98,14 @@ impl ReliableSender {
     pub fn send(&mut self, ctx: &mut Ctx, dest: ProcessId, body: Payload) -> u64 {
         self.next_seq += 1;
         let seq = self.next_seq;
+        // Acked guarantees get a call span from first send to ack or
+        // give-up (retries included); at-most-once has nothing to wait for.
+        let span = if self.guarantee != DeliveryGuarantee::AtMostOnce {
+            ctx.trace_span(SpanKind::RpcCall, || format!("cmd {}", body.tag()))
+        } else {
+            None
+        };
+        ctx.trace_enter(span);
         ctx.send(
             dest,
             Payload::new(Command {
@@ -110,19 +120,23 @@ impl ReliableSender {
                     dest,
                     body,
                     attempts_left: self.max_attempts - 1,
+                    span,
                 },
             );
             ctx.set_timer(self.retry_delay, SEND_TAG_BASE | seq);
         }
+        ctx.trace_exit(span);
         seq
     }
 
     /// Offer an incoming message; returns `true` if it was an ack for us.
-    pub fn on_message(&mut self, _ctx: &mut Ctx, payload: &Payload) -> bool {
+    pub fn on_message(&mut self, ctx: &mut Ctx, payload: &Payload) -> bool {
         let Some(ack) = payload.downcast_ref::<CommandAck>() else {
             return false;
         };
-        self.unacked.remove(&ack.seq);
+        if let Some(out) = self.unacked.remove(&ack.seq) {
+            ctx.trace_span_end(out.span);
+        }
         true
     }
 
@@ -136,7 +150,8 @@ impl ReliableSender {
             return true; // already acked
         };
         if out.attempts_left == 0 {
-            self.unacked.remove(&seq);
+            let out = self.unacked.remove(&seq).expect("present");
+            ctx.trace_span_end(out.span);
             self.given_up += 1;
             ctx.metrics().incr("send.gave_up", 1);
             return true;

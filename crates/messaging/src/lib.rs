@@ -15,6 +15,7 @@
 //!   and the broker without a distributed commit.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod broker;
 pub mod delivery;

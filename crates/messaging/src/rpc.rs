@@ -11,7 +11,7 @@
 
 use tca_sim::DetHashMap as HashMap;
 
-use tca_sim::{Ctx, Payload, ProcessId, SimDuration};
+use tca_sim::{Ctx, Payload, ProcessId, SimDuration, SpanId, SpanKind};
 
 pub use tca_sim::wire::{RpcReply, RpcRequest};
 
@@ -89,6 +89,8 @@ struct Pending {
     current_timeout: SimDuration,
     user_tag: u64,
     wire_id: u64,
+    /// Trace span covering the whole call, retries included.
+    span: Option<SpanId>,
 }
 
 /// Client-side RPC state machine, embedded in a host process.
@@ -144,9 +146,13 @@ impl RpcClient {
         wire_id: u64,
     ) -> CallId {
         assert!(policy.max_attempts >= 1);
-        let _ = ctx;
         self.next_seq += 1;
         let seq = self.next_seq;
+        // The call span covers first send to reply/failure. Entering it
+        // makes the request hop and the timeout timer carry it, so retries
+        // fired from that timer stay inside the same call subtree.
+        let span = ctx.trace_span(SpanKind::RpcCall, || format!("rpc {}", body.tag()));
+        ctx.trace_enter(span);
         ctx.send(
             dest,
             Payload::new(RpcRequest {
@@ -156,6 +162,7 @@ impl RpcClient {
         );
         ctx.metrics().incr("rpc.calls", 1);
         ctx.set_timer(policy.timeout, RPC_TAG_BASE | seq);
+        ctx.trace_exit(span);
         self.pending.insert(
             seq,
             Pending {
@@ -166,6 +173,7 @@ impl RpcClient {
                 current_timeout: policy.timeout,
                 user_tag,
                 wire_id,
+                span,
             },
         );
         self.by_wire.insert(wire_id, seq);
@@ -174,10 +182,11 @@ impl RpcClient {
 
     /// Offer an incoming message. Returns the completion event if it was a
     /// reply to one of our calls; `None` tells the host to handle it.
-    pub fn on_message(&mut self, _ctx: &mut Ctx, payload: &Payload) -> Option<RpcEvent> {
+    pub fn on_message(&mut self, ctx: &mut Ctx, payload: &Payload) -> Option<RpcEvent> {
         let reply = payload.downcast_ref::<RpcReply>()?;
         let seq = self.by_wire.remove(&reply.call_id)?;
         let pending = self.pending.remove(&seq)?;
+        ctx.trace_span_end(pending.span);
         Some(RpcEvent::Reply {
             call: CallId(reply.call_id),
             user_tag: pending.user_tag,
@@ -200,6 +209,7 @@ impl RpcClient {
             let pending = self.pending.remove(&seq).expect("present");
             self.by_wire.remove(&pending.wire_id);
             ctx.metrics().incr("rpc.failures", 1);
+            ctx.trace_span_end(pending.span);
             return Some(Some(RpcEvent::Failed {
                 call: CallId(pending.wire_id),
                 user_tag: pending.user_tag,

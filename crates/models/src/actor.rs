@@ -22,7 +22,7 @@ use std::rc::Rc;
 use tca_sim::DetHashMap as HashMap;
 
 use tca_messaging::rpc::{reply_to, RetryPolicy, RpcClient, RpcEvent, RpcRequest};
-use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration, SimTime};
+use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration, SimTime, SpanId, SpanKind};
 use tca_storage::{DbMsg, DbReply, DbRequest, DbResponse, ProcRegistry, Value};
 
 /// An actor's logical identity: type plus key.
@@ -606,6 +606,9 @@ struct QueuedInvoke {
     args: Vec<Value>,
     caller: ProcessId,
     rpc_call_id: u64,
+    /// Trace span from admission to reply — queue wait, execution, nested
+    /// calls, and state persistence all nest underneath.
+    span: Option<SpanId>,
 }
 
 enum Phase {
@@ -825,6 +828,7 @@ impl ActorSilo {
             if let Some(slot) = self.recent_invokes.get_mut(&(job.caller, job.rpc_call_id)) {
                 *slot = Some(result.clone());
             }
+            ctx.trace_enter(job.span);
             reply_to(
                 ctx,
                 job.caller,
@@ -834,6 +838,8 @@ impl ActorSilo {
                 },
                 Payload::new(ActorOutcome { result }),
             );
+            ctx.trace_exit(job.span);
+            ctx.trace_span_end(job.span);
         }
         ctx.metrics().incr("actor.invocations", 1);
         self.pump(ctx, id);
@@ -854,8 +860,13 @@ impl ActorSilo {
         let step = activation
             .logic
             .invoke(&mut activation.state, &job.method, &job.args);
+        let span = job.span;
         activation.current = Some(job);
+        // Sends issued by the step chain (nested calls, state persistence)
+        // should parent under the invocation span.
+        ctx.trace_enter(span);
         self.run_step(ctx, id, step);
+        ctx.trace_exit(span);
     }
 
     fn handle_db_completion(&mut self, ctx: &mut Ctx, tag: u64, body: Option<Payload>) {
@@ -911,15 +922,21 @@ impl ActorSilo {
             let Some(id) = self.db_ops.remove(&completion.user_tag) else {
                 continue;
             };
-            let step = {
+            let (step, span) = {
                 let Some(activation) = self.activations.get_mut(&id) else {
                     continue;
                 };
-                activation
-                    .logic
-                    .resume(&mut activation.state, completion.result)
+                let span = activation.current.as_ref().and_then(|job| job.span);
+                (
+                    activation
+                        .logic
+                        .resume(&mut activation.state, completion.result),
+                    span,
+                )
             };
+            ctx.trace_enter(span);
             self.run_step(ctx, &id, step);
+            ctx.trace_exit(span);
         }
     }
 }
@@ -998,12 +1015,16 @@ impl Process for ActorSilo {
                 self.recent_invokes.remove(&old);
             }
         }
+        let span = ctx.trace_span(SpanKind::ActorInvoke, || {
+            format!("{}::{}", invoke.id.type_name, invoke.method)
+        });
         let activation = self.activations.get_mut(&invoke.id).expect("activated");
         activation.queue.push_back(QueuedInvoke {
             method: invoke.method.clone(),
             args: invoke.args.clone(),
             caller: from,
             rpc_call_id: request.call_id,
+            span,
         });
         self.pump(ctx, &invoke.id.clone());
     }

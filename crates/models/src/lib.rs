@@ -16,6 +16,7 @@
 //!   vs exactly-once sinks (Flink analogue).
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod actor;
 pub mod dataflow;

@@ -445,6 +445,8 @@ pub fn torture_plan(seed: u64, plan_index: u32, profile: &FaultProfile) -> Fault
     }
 }
 
+/// Run `scenario` across every `(seed, plan)` pair of the sweep, panicking
+/// with a replayable `(seed, plan_index)` report on the first failure.
 pub fn torture(
     name: &str,
     config: &TortureConfig,

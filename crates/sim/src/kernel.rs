@@ -22,7 +22,7 @@ use crate::payload::Payload;
 use crate::proc::{Boot, Ctx, Disk, Effect, NodeId, Process, ProcessFactory, ProcessId, TimerId};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::Trace;
+use crate::trace::{SpanId, SpanKind, Tracer};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct EventKey {
@@ -39,12 +39,18 @@ enum EventKind {
         to: ProcessId,
         from: ProcessId,
         payload: Payload,
+        /// Causal trace context carried across the wire (the network-hop
+        /// span, or `None` for untraced/externally injected messages).
+        span: Option<SpanId>,
     },
     Timer {
         pid: ProcessId,
         generation: u32,
         id: TimerId,
         tag: u64,
+        /// Span current when the timer was armed; keeps retry timers
+        /// causally attached to the operation that scheduled them.
+        span: Option<SpanId>,
     },
     CrashNode(NodeId),
     RestartNode(NodeId),
@@ -123,13 +129,21 @@ pub struct Sim {
     network: Network,
     cancelled_timers: HashSet<TimerId>,
     timer_seq: u64,
-    trace: Trace,
+    tracer: Tracer,
     events_processed: u64,
 }
 
 impl Sim {
     /// Build an empty simulation from a config.
+    ///
+    /// Setting the `TCA_TRACE` environment variable to anything but `0`
+    /// enables span tracing on every `Sim` — this is how the determinism
+    /// gate runs the whole experiment suite traced without code changes.
     pub fn new(config: SimConfig) -> Self {
+        let mut tracer = Tracer::new();
+        if std::env::var_os("TCA_TRACE").is_some_and(|v| v != "0") {
+            tracer.set_enabled(true);
+        }
         Sim {
             now: SimTime::ZERO,
             seq: 0,
@@ -141,7 +155,7 @@ impl Sim {
             network: Network::new(config.network),
             cancelled_timers: HashSet::default(),
             timer_seq: 0,
-            trace: Trace::new(),
+            tracer,
             events_processed: 0,
         }
     }
@@ -333,6 +347,9 @@ impl Sim {
                 to,
                 from: ProcessId::EXTERNAL,
                 payload,
+                // Injected messages carry no span: their receive handlers
+                // become the roots of request trees.
+                span: None,
             },
         );
     }
@@ -359,14 +376,44 @@ impl Sim {
         &mut self.rng
     }
 
-    /// The event trace.
-    pub fn trace(&self) -> &Trace {
-        &self.trace
+    /// The causal span tracer (query API: spans, trees, breakdowns).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
-    /// Enable or disable tracing.
+    /// Mutable tracer access for harnesses.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Enable or disable span tracing. Safe to toggle mid-run; recording
+    /// never touches the RNG or the event queue, so the schedule is
+    /// bit-identical either way.
     pub fn set_tracing(&mut self, on: bool) {
-        self.trace.set_enabled(on);
+        self.tracer.set_enabled(on);
+    }
+
+    /// Export all recorded spans as Chrome-trace JSON (loadable in
+    /// `about:tracing` or Perfetto), mapping simulated nodes to Chrome
+    /// processes and simulated processes to threads.
+    pub fn chrome_trace(&self) -> String {
+        self.tracer.chrome_trace(
+            self.now,
+            |pid| {
+                if pid == ProcessId::EXTERNAL {
+                    u32::MAX
+                } else {
+                    self.procs[pid.0 as usize].node.0
+                }
+            },
+            |pid| {
+                if pid == ProcessId::EXTERNAL {
+                    "external".to_owned()
+                } else {
+                    self.procs[pid.0 as usize].name.clone()
+                }
+            },
+        )
     }
 
     /// Mutable network access (e.g. mid-run reconfiguration).
@@ -406,31 +453,65 @@ impl Sim {
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
             EventKind::Start { pid, generation } => {
-                self.run_handler(pid, Some(generation), |proc, ctx| proc.on_start(ctx));
+                self.run_handler(pid, Some(generation), None, |proc, ctx| proc.on_start(ctx));
             }
-            EventKind::Deliver { to, from, payload } => {
+            EventKind::Deliver {
+                to,
+                from,
+                payload,
+                span,
+            } => {
                 let slot = &self.procs[to.0 as usize];
                 if !self.nodes[slot.node.0 as usize].up || slot.state.is_none() {
                     self.metrics.incr("net.dropped_dead_target", 1);
+                    self.tracer
+                        .event(self.now, to, span, || "dropped: dead target".into());
                     return;
                 }
                 self.metrics.incr("net.delivered", 1);
-                if self.trace.is_enabled() {
-                    self.trace
-                        .record(self.now, to, format!("recv {} from {from}", payload.tag()));
+                // Every delivery runs inside a handler span parented under
+                // the context carried on the wire; externally injected
+                // messages (span == None) start new request trees here.
+                let tag = payload.tag();
+                let hspan = self
+                    .tracer
+                    .start(SpanKind::Handler, to, span, self.now, || {
+                        format!("recv {tag} from {from}")
+                    });
+                self.run_handler(to, None, hspan, |proc, ctx| {
+                    proc.on_message(ctx, from, payload)
+                });
+                if let Some(id) = hspan {
+                    self.tracer.end(id, self.now);
                 }
-                self.run_handler(to, None, |proc, ctx| proc.on_message(ctx, from, payload));
             }
             EventKind::Timer {
                 pid,
                 generation,
                 id,
                 tag,
+                span,
             } => {
                 if self.cancelled_timers.remove(&id) {
                     return;
                 }
-                self.run_handler(pid, Some(generation), |proc, ctx| proc.on_timer(ctx, tag));
+                // Only timers armed inside a span get a handler span of
+                // their own: retry timers stay attached to their request
+                // tree while periodic background sweeps stay untraced.
+                let hspan = match span {
+                    Some(_) => self
+                        .tracer
+                        .start(SpanKind::Handler, pid, span, self.now, || {
+                            format!("timer {tag:#x}")
+                        }),
+                    None => None,
+                };
+                self.run_handler(pid, Some(generation), hspan, |proc, ctx| {
+                    proc.on_timer(ctx, tag)
+                });
+                if let Some(sid) = hspan {
+                    self.tracer.end(sid, self.now);
+                }
             }
             EventKind::CrashNode(node) => self.apply_crash(node),
             EventKind::RestartNode(node) => self.apply_restart(node),
@@ -446,8 +527,16 @@ impl Sim {
     /// `required_generation`: when `Some`, the handler only runs if the
     /// process incarnation still matches (used for timers and start events,
     /// which must not leak across a crash).
-    fn run_handler<F>(&mut self, pid: ProcessId, required_generation: Option<u32>, f: F)
-    where
+    ///
+    /// `root_span` seeds the handler's span stack, so spans opened and
+    /// messages sent inside the handler attach to the incoming context.
+    fn run_handler<F>(
+        &mut self,
+        pid: ProcessId,
+        required_generation: Option<u32>,
+        root_span: Option<SpanId>,
+        f: F,
+    ) where
         F: FnOnce(&mut Box<dyn Process>, &mut Ctx),
     {
         let idx = pid.0 as usize;
@@ -481,6 +570,8 @@ impl Sim {
                 metrics: &mut self.metrics,
                 effects: Vec::new(),
                 timer_seq: &mut self.timer_seq,
+                tracer: &mut self.tracer,
+                span_stack: root_span.into_iter().collect(),
             };
             f(&mut state_box, &mut ctx);
             ctx.effects
@@ -508,8 +599,14 @@ impl Sim {
                     to,
                     payload,
                     extra_delay,
-                } => self.route_send(pid, node, to, payload, extra_delay),
-                Effect::SetTimer { id, delay, tag } => {
+                    span,
+                } => self.route_send(pid, node, to, payload, extra_delay, span),
+                Effect::SetTimer {
+                    id,
+                    delay,
+                    tag,
+                    span,
+                } => {
                     self.push(
                         self.now + delay,
                         EventKind::Timer {
@@ -517,6 +614,7 @@ impl Sim {
                             generation,
                             id,
                             tag,
+                            span,
                         },
                     );
                 }
@@ -540,11 +638,14 @@ impl Sim {
         to: ProcessId,
         payload: Payload,
         extra_delay: SimDuration,
+        span: Option<SpanId>,
     ) {
         if to == ProcessId::EXTERNAL {
             // Replies to harness-injected messages leave the simulated
             // world; swallow them (the harness reads metrics instead).
             self.metrics.incr("net.to_external", 1);
+            self.tracer
+                .event(self.now, from, span, || "reply to external".into());
             return;
         }
         assert!(
@@ -553,29 +654,63 @@ impl Sim {
         );
         let dst_node = self.procs[to.0 as usize].node;
         self.metrics.incr("net.sent", 1);
+        // The hop's extent is decided here (the network rolls the latency
+        // up front), so the hop span is recorded closed and its id rides
+        // on the Deliver event to parent the receive handler.
+        let hop = |sim: &mut Sim, arrive: SimTime| -> Option<SpanId> {
+            if !sim.tracer.is_enabled() {
+                return span;
+            }
+            let label = format!(
+                "{} \u{2192} {}",
+                sim.procs[from.0 as usize].name, sim.procs[to.0 as usize].name
+            );
+            sim.tracer
+                .interval(SpanKind::NetHop, from, span, sim.now, arrive, || label)
+                .or(span)
+        };
         match self.network.route(&mut self.rng, src_node, dst_node) {
             Fate::Drop => {
                 self.metrics.incr("net.dropped", 1);
+                self.tracer
+                    .event(self.now, from, span, || format!("dropped send to {to}"));
             }
             Fate::Deliver(lat) => {
+                let at = self.now + extra_delay + lat;
+                let span = hop(self, at);
                 self.push(
-                    self.now + extra_delay + lat,
-                    EventKind::Deliver { to, from, payload },
+                    at,
+                    EventKind::Deliver {
+                        to,
+                        from,
+                        payload,
+                        span,
+                    },
                 );
             }
             Fate::Duplicate(a, b) => {
                 self.metrics.incr("net.duplicated", 1);
+                let at_a = self.now + extra_delay + a;
+                let at_b = self.now + extra_delay + b;
+                let span_a = hop(self, at_a);
+                let span_b = hop(self, at_b);
                 self.push(
-                    self.now + extra_delay + a,
+                    at_a,
                     EventKind::Deliver {
                         to,
                         from,
                         payload: payload.clone(),
+                        span: span_a,
                     },
                 );
                 self.push(
-                    self.now + extra_delay + b,
-                    EventKind::Deliver { to, from, payload },
+                    at_b,
+                    EventKind::Deliver {
+                        to,
+                        from,
+                        payload,
+                        span: span_b,
+                    },
                 );
             }
         }

@@ -30,6 +30,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod check;
 pub mod detmap;
@@ -54,5 +55,5 @@ pub use payload::Payload;
 pub use proc::{Boot, Ctx, Disk, NodeId, Process, ProcessId, TimerId};
 pub use rng::{SimRng, Zipf};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceEntry};
+pub use trace::{Span, SpanEvent, SpanId, SpanKind, Tracer};
 pub use wire::{RpcReply, RpcRequest};

@@ -22,6 +22,7 @@ use crate::metrics::Metrics;
 use crate::payload::Payload;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{SpanId, SpanKind, Tracer};
 
 /// Identifies a simulated machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -154,16 +155,22 @@ pub struct Boot<'a> {
 pub type ProcessFactory = Box<dyn FnMut(&mut Boot) -> Box<dyn Process>>;
 
 /// Buffered effect produced by a handler; applied by the kernel afterwards.
+///
+/// `Send` and `SetTimer` carry the span that was current when the effect was
+/// buffered — this is how causal trace context propagates across the wire
+/// and across timer firings. The field is always `None` when tracing is off.
 pub(crate) enum Effect {
     Send {
         to: ProcessId,
         payload: Payload,
         extra_delay: SimDuration,
+        span: Option<SpanId>,
     },
     SetTimer {
         id: TimerId,
         delay: SimDuration,
         tag: u64,
+        span: Option<SpanId>,
     },
     CancelTimer(TimerId),
     Halt,
@@ -180,6 +187,11 @@ pub struct Ctx<'a> {
     pub(crate) metrics: &'a mut Metrics,
     pub(crate) effects: Vec<Effect>,
     pub(crate) timer_seq: &'a mut u64,
+    pub(crate) tracer: &'a mut Tracer,
+    /// Stack of currently entered spans; the top parents new spans and is
+    /// stamped onto buffered sends/timers. Stays empty (never allocates)
+    /// while tracing is off.
+    pub(crate) span_stack: Vec<SpanId>,
 }
 
 impl<'a> Ctx<'a> {
@@ -200,19 +212,23 @@ impl<'a> Ctx<'a> {
 
     /// Send `payload` to `to` over the simulated network.
     pub fn send(&mut self, to: ProcessId, payload: Payload) {
+        let span = self.current_span();
         self.effects.push(Effect::Send {
             to,
             payload,
             extra_delay: SimDuration::ZERO,
+            span,
         });
     }
 
     /// Send after holding the message locally for `delay` first.
     pub fn send_after(&mut self, to: ProcessId, payload: Payload, delay: SimDuration) {
+        let span = self.current_span();
         self.effects.push(Effect::Send {
             to,
             payload,
             extra_delay: delay,
+            span,
         });
     }
 
@@ -220,7 +236,13 @@ impl<'a> Ctx<'a> {
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
         *self.timer_seq += 1;
         let id = TimerId(*self.timer_seq);
-        self.effects.push(Effect::SetTimer { id, delay, tag });
+        let span = self.current_span();
+        self.effects.push(Effect::SetTimer {
+            id,
+            delay,
+            tag,
+            span,
+        });
         id
     }
 
@@ -248,6 +270,80 @@ impl<'a> Ctx<'a> {
     /// The run-wide metrics registry.
     pub fn metrics(&mut self) -> &mut Metrics {
         self.metrics
+    }
+
+    // ----- causal tracing -------------------------------------------------
+    //
+    // All of these are branch-only no-ops while tracing is disabled: label
+    // closures are never evaluated, nothing allocates, and span ids come
+    // from the tracer's own counter — never from the RNG — so enabling
+    // tracing cannot perturb the deterministic schedule.
+
+    /// Whether span tracing is enabled for this run.
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// The innermost currently entered span, if any. New spans are parented
+    /// under it and buffered sends/timers carry it across the wire.
+    pub fn current_span(&self) -> Option<SpanId> {
+        self.span_stack.last().copied()
+    }
+
+    /// Open a span starting now, parented under [`Ctx::current_span`]. The
+    /// label closure is only evaluated when tracing is on. Returns `None`
+    /// when tracing is off (all other `trace_*` calls accept that `None`).
+    pub fn trace_span(&mut self, kind: SpanKind, label: impl FnOnce() -> String) -> Option<SpanId> {
+        self.tracer
+            .start(kind, self.pid, self.current_span(), self.now, label)
+    }
+
+    /// Record a span covering `[now, until]` — for waits whose extent is
+    /// already known, like time queued behind earlier work at a server.
+    pub fn trace_interval(
+        &mut self,
+        kind: SpanKind,
+        until: SimTime,
+        label: impl FnOnce() -> String,
+    ) -> Option<SpanId> {
+        self.tracer.interval(
+            kind,
+            self.pid,
+            self.current_span(),
+            self.now,
+            until.max(self.now),
+            label,
+        )
+    }
+
+    /// Close a span at the current virtual time. `None` is a no-op.
+    pub fn trace_span_end(&mut self, span: Option<SpanId>) {
+        if let Some(id) = span {
+            self.tracer.end(id, self.now);
+        }
+    }
+
+    /// Push `span` as the current span, so following sends, timers, and
+    /// child spans attach under it. Must be paired with [`Ctx::trace_exit`].
+    pub fn trace_enter(&mut self, span: Option<SpanId>) {
+        if let Some(id) = span {
+            self.span_stack.push(id);
+        }
+    }
+
+    /// Pop the span pushed by the matching [`Ctx::trace_enter`]. Pass the
+    /// same value: a `None` enter was a no-op, so its exit is too.
+    pub fn trace_exit(&mut self, span: Option<SpanId>) {
+        if span.is_some() {
+            self.span_stack.pop();
+        }
+    }
+
+    /// Record a point annotation on the current span (or as a free-floating
+    /// event). The closure is only evaluated when tracing is on.
+    pub fn trace_event(&mut self, what: impl FnOnce() -> String) {
+        let span = self.current_span();
+        self.tracer.event(self.now, self.pid, span, what);
     }
 }
 

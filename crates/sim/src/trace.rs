@@ -1,38 +1,193 @@
-//! Optional event trace for debugging and test assertions.
+//! Structured causal span tracing with virtual-time latency attribution.
+//!
+//! This module supersedes the old free-form string trace with a typed
+//! [`Span`] model: every span has an id, an optional parent, a [`SpanKind`],
+//! an owning process, and `start`/`end` virtual timestamps. Span context
+//! *propagates through wire messages*: when a handler sends a message while
+//! a span is current, the kernel parents the network-hop span (and, at the
+//! destination, the receive-handler span) under it — so one client request
+//! yields a causal tree that crosses nodes: RPC envelope → network hop →
+//! queue wait → lock wait / 2PC phases / saga steps / actor invocations →
+//! reply.
+//!
+//! Determinism: span ids come from a plain monotone counter inside the
+//! [`Tracer`] — **never** from the simulation RNG — and recording a span
+//! touches neither the event queue, the metrics registry, nor the RNG
+//! stream. Toggling tracing therefore cannot perturb the schedule; the
+//! determinism gate runs the full experiment suite with `TCA_TRACE=1` and
+//! diffs the output byte-for-byte against the untraced run as proof.
+//!
+//! Cost when disabled: every recording entry point checks `enabled` first
+//! and returns `None` before evaluating its label closure or allocating, so
+//! a disabled tracer costs one branch per call site.
 
+use crate::metrics::Histogram;
 use crate::proc::ProcessId;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
-/// One traced event.
+/// Identifies one span. Ids are allocated from a monotone counter starting
+/// at 1, in recording order — not from the simulation RNG, which keeps the
+/// RNG stream identical whether tracing is on or off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+/// What a span measures. Kinds are the unit of latency attribution: the
+/// per-kind histograms from [`Tracer::breakdown`] answer "where did the
+/// virtual time go" for a whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// One handler invocation (message receive or traced timer firing).
+    Handler,
+    /// A message in flight between two processes, including any local
+    /// hold-back delay (`send_after`).
+    NetHop,
+    /// A client-side RPC (or acked one-way command): first send until
+    /// reply/ack, failure, or exhaustion — retries and timeouts included.
+    RpcCall,
+    /// Time a request spent queued behind earlier work at a server (M/D/1
+    /// service queue at a database).
+    QueueWait,
+    /// Time a transaction spent parked waiting for a conflicting lock.
+    LockWait,
+    /// A whole distributed transaction at its 2PC coordinator.
+    Txn,
+    /// The execute phase of a 2PC transaction (branch fan-out).
+    TxnExecute,
+    /// The prepare/voting phase of a 2PC transaction.
+    TxnPrepare,
+    /// The decision broadcast + ack phase of a 2PC transaction.
+    TxnDecide,
+    /// A whole saga at its orchestrator, start to outcome.
+    Saga,
+    /// One forward step of a saga.
+    SagaStep,
+    /// One compensation step of a saga.
+    SagaCompensation,
+    /// One actor method invocation at its hosting silo, admission to reply.
+    ActorInvoke,
+}
+
+impl SpanKind {
+    /// All kinds, in the stable order used by [`Tracer::breakdown`].
+    pub const ALL: [SpanKind; 13] = [
+        SpanKind::Handler,
+        SpanKind::NetHop,
+        SpanKind::RpcCall,
+        SpanKind::QueueWait,
+        SpanKind::LockWait,
+        SpanKind::Txn,
+        SpanKind::TxnExecute,
+        SpanKind::TxnPrepare,
+        SpanKind::TxnDecide,
+        SpanKind::Saga,
+        SpanKind::SagaStep,
+        SpanKind::SagaCompensation,
+        SpanKind::ActorInvoke,
+    ];
+
+    /// Stable display name (also the Chrome-trace category).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Handler => "handler",
+            SpanKind::NetHop => "net_hop",
+            SpanKind::RpcCall => "rpc_call",
+            SpanKind::QueueWait => "queue_wait",
+            SpanKind::LockWait => "lock_wait",
+            SpanKind::Txn => "txn",
+            SpanKind::TxnExecute => "txn_execute",
+            SpanKind::TxnPrepare => "txn_prepare",
+            SpanKind::TxnDecide => "txn_decide",
+            SpanKind::Saga => "saga",
+            SpanKind::SagaStep => "saga_step",
+            SpanKind::SagaCompensation => "saga_comp",
+            SpanKind::ActorInvoke => "actor_invoke",
+        }
+    }
+}
+
+/// One recorded span.
 #[derive(Debug, Clone)]
-pub struct TraceEntry {
+pub struct Span {
+    /// This span's id.
+    pub id: SpanId,
+    /// The causally enclosing span, if any. `None` marks a tree root.
+    pub parent: Option<SpanId>,
+    /// What the span measures.
+    pub kind: SpanKind,
+    /// The process that opened the span.
+    pub pid: ProcessId,
+    /// Human-readable label ("rpc Transfer", "dtx 17", …).
+    pub label: String,
+    /// Virtual time the span opened.
+    pub start: SimTime,
+    /// Virtual time the span closed; `None` while still open (e.g. an RPC
+    /// abandoned by a crash).
+    pub end: Option<SimTime>,
+}
+
+impl Span {
+    /// Duration of a completed span (zero while still open).
+    pub fn duration(&self) -> SimDuration {
+        match self.end {
+            Some(end) => end.since(self.start),
+            None => SimDuration::ZERO,
+        }
+    }
+}
+
+/// A point-in-time annotation, optionally attached to a span. Absorbs the
+/// old free-form string trace: what used to be `trace.record(...)` lines
+/// are now events hanging off the causal tree.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
     /// When it happened.
     pub time: SimTime,
     /// The process involved.
     pub pid: ProcessId,
+    /// The span current when the event was recorded, if any.
+    pub span: Option<SpanId>,
     /// Free-form description.
     pub what: String,
 }
 
-/// A bounded in-memory trace, disabled by default (zero cost when off).
-#[derive(Default)]
-pub struct Trace {
+/// Bounded in-memory span store, disabled by default (zero cost when off).
+///
+/// Owned by the simulation kernel; handlers reach it through `Ctx`'s
+/// `trace_*` methods. When the capacity is reached, further spans are
+/// dropped (counted in [`Tracer::dropped`]) rather than evicted, so the
+/// prefix of a run is always fully connected.
+pub struct Tracer {
     enabled: bool,
-    entries: Vec<TraceEntry>,
-    cap: usize,
+    next_id: u64,
+    spans: Vec<Span>,
+    events: Vec<SpanEvent>,
+    span_cap: usize,
+    event_cap: usize,
+    dropped: u64,
 }
 
-impl Trace {
-    /// A disabled trace.
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer with default capacity.
     pub fn new() -> Self {
-        Trace {
+        Tracer {
             enabled: false,
-            entries: Vec::new(),
-            cap: 100_000,
+            next_id: 0,
+            spans: Vec::new(),
+            events: Vec::new(),
+            span_cap: 1 << 18,
+            event_cap: 1 << 16,
+            dropped: 0,
         }
     }
 
-    /// Turn tracing on or off.
+    /// Turn tracing on or off. Flipping this does not discard already
+    /// recorded spans.
     pub fn set_enabled(&mut self, on: bool) {
         self.enabled = on;
     }
@@ -42,26 +197,318 @@ impl Trace {
         self.enabled
     }
 
-    /// Record an entry if enabled and under capacity.
-    pub fn record(&mut self, time: SimTime, pid: ProcessId, what: impl Into<String>) {
-        if self.enabled && self.entries.len() < self.cap {
-            self.entries.push(TraceEntry {
+    /// Number of spans discarded because the capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Open a span starting now. Returns `None` (without evaluating the
+    /// label closure) when tracing is off or the store is full.
+    pub fn start(
+        &mut self,
+        kind: SpanKind,
+        pid: ProcessId,
+        parent: Option<SpanId>,
+        start: SimTime,
+        label: impl FnOnce() -> String,
+    ) -> Option<SpanId> {
+        if !self.enabled {
+            return None;
+        }
+        if self.spans.len() >= self.span_cap {
+            self.dropped += 1;
+            return None;
+        }
+        self.next_id += 1;
+        let id = SpanId(self.next_id);
+        self.spans.push(Span {
+            id,
+            parent,
+            kind,
+            pid,
+            label: label(),
+            start,
+            end: None,
+        });
+        Some(id)
+    }
+
+    /// Record a span whose extent is already known (a network hop's arrival
+    /// time is decided at send time; a queue wait ends when service begins).
+    pub fn interval(
+        &mut self,
+        kind: SpanKind,
+        pid: ProcessId,
+        parent: Option<SpanId>,
+        start: SimTime,
+        end: SimTime,
+        label: impl FnOnce() -> String,
+    ) -> Option<SpanId> {
+        let id = self.start(kind, pid, parent, start, label)?;
+        self.end(id, end);
+        Some(id)
+    }
+
+    /// Close a span at virtual time `t`. Closing an already-closed span
+    /// moves its end (used by retries that extend an RPC span).
+    pub fn end(&mut self, id: SpanId, t: SimTime) {
+        if let Some(span) = self.span_mut(id) {
+            span.end = Some(t);
+        }
+    }
+
+    /// Record a point event. The closure is only evaluated when enabled.
+    pub fn event(
+        &mut self,
+        time: SimTime,
+        pid: ProcessId,
+        span: Option<SpanId>,
+        what: impl FnOnce() -> String,
+    ) {
+        if self.enabled && self.events.len() < self.event_cap {
+            self.events.push(SpanEvent {
                 time,
                 pid,
-                what: what.into(),
+                span,
+                what: what(),
             });
         }
     }
 
-    /// All recorded entries, in order.
-    pub fn entries(&self) -> &[TraceEntry] {
-        &self.entries
+    // ----- queries --------------------------------------------------------
+
+    /// All recorded spans, in id (= recording) order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
     }
 
-    /// True if any entry's description contains `needle`.
-    pub fn contains(&self, needle: &str) -> bool {
-        self.entries.iter().any(|e| e.what.contains(needle))
+    /// All recorded point events, in order.
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
     }
+
+    /// Look up a span by id.
+    pub fn span(&self, id: SpanId) -> Option<&Span> {
+        // Ids are dense and allocated in push order: id N is spans[N-1].
+        self.spans.get((id.0 as usize).checked_sub(1)?)
+    }
+
+    fn span_mut(&mut self, id: SpanId) -> Option<&mut Span> {
+        self.spans.get_mut((id.0 as usize).checked_sub(1)?)
+    }
+
+    /// Spans with no parent (request-tree roots).
+    pub fn roots(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(|s| s.parent.is_none())
+    }
+
+    /// Direct children of `id`, in recording order.
+    pub fn children(&self, id: SpanId) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.parent == Some(id))
+    }
+
+    /// All spans of one kind, in recording order.
+    pub fn spans_of_kind(&self, kind: SpanKind) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// Every span reachable from `root` by parent links (including `root`),
+    /// in recording order. Useful for asserting the shape of one request.
+    pub fn subtree(&self, root: SpanId) -> Vec<&Span> {
+        let mut keep = vec![false; self.spans.len()];
+        let mut out = Vec::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            let in_tree = s.id == root
+                || s.parent
+                    .and_then(|p| (p.0 as usize).checked_sub(1))
+                    .is_some_and(|pi| keep.get(pi).copied().unwrap_or(false));
+            if in_tree {
+                keep[i] = true;
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// True if any span label or event description contains `needle`.
+    /// (Keeps the old string trace's search ergonomics for tests.)
+    pub fn contains(&self, needle: &str) -> bool {
+        self.spans.iter().any(|s| s.label.contains(needle))
+            || self.events.iter().any(|e| e.what.contains(needle))
+    }
+
+    /// Per-kind latency attribution over all *completed* spans: one
+    /// histogram of span durations per kind that recorded at least one
+    /// span, in the stable [`SpanKind::ALL`] order.
+    pub fn breakdown(&self) -> Vec<(SpanKind, Histogram)> {
+        let mut out: Vec<(SpanKind, Histogram)> = Vec::new();
+        for kind in SpanKind::ALL {
+            let mut h = Histogram::new();
+            for s in self.spans.iter().filter(|s| s.kind == kind) {
+                if s.end.is_some() {
+                    h.record(s.duration());
+                }
+            }
+            if h.count() > 0 {
+                out.push((kind, h));
+            }
+        }
+        out
+    }
+
+    // ----- export ---------------------------------------------------------
+
+    /// Serialize all spans as Chrome-trace ("Trace Event Format") JSON,
+    /// loadable in `about:tracing` or <https://ui.perfetto.dev>.
+    ///
+    /// Mapping: Chrome `pid` = simulated node, `tid` = simulated process,
+    /// one complete (`"ph":"X"`) event per span with microsecond
+    /// timestamps, and metadata events naming nodes and processes. Span
+    /// ids and parent links ride along in `args` so the causal tree
+    /// survives the export. Point events become instant (`"ph":"i"`)
+    /// events. Hand-built JSON — the build is hermetic, no serde.
+    pub fn chrome_trace(
+        &self,
+        now: SimTime,
+        node_of: impl Fn(ProcessId) -> u32,
+        name_of: impl Fn(ProcessId) -> String,
+    ) -> String {
+        let mut out = String::with_capacity(256 + self.spans.len() * 160);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut named: Vec<ProcessId> = Vec::new();
+        for s in &self.spans {
+            if !named.contains(&s.pid) {
+                named.push(s.pid);
+            }
+            let end = s.end.unwrap_or(now).max(s.start);
+            push_event(
+                &mut out,
+                &mut first,
+                &[
+                    ("name", JsonVal::Str(&s.label)),
+                    ("cat", JsonVal::Str(s.kind.name())),
+                    ("ph", JsonVal::Str("X")),
+                    ("ts", JsonVal::Micros(s.start.as_nanos())),
+                    ("dur", JsonVal::Micros(end.since(s.start).as_nanos())),
+                    ("pid", JsonVal::Num(node_of(s.pid) as u64)),
+                    ("tid", JsonVal::Num(s.pid.0 as u64)),
+                    (
+                        "args",
+                        JsonVal::SpanArgs {
+                            span: s.id.0,
+                            parent: s.parent.map(|p| p.0),
+                        },
+                    ),
+                ],
+            );
+        }
+        for e in &self.events {
+            push_event(
+                &mut out,
+                &mut first,
+                &[
+                    ("name", JsonVal::Str(&e.what)),
+                    ("cat", JsonVal::Str("event")),
+                    ("ph", JsonVal::Str("i")),
+                    ("s", JsonVal::Str("t")),
+                    ("ts", JsonVal::Micros(e.time.as_nanos())),
+                    ("pid", JsonVal::Num(node_of(e.pid) as u64)),
+                    ("tid", JsonVal::Num(e.pid.0 as u64)),
+                    (
+                        "args",
+                        JsonVal::SpanArgs {
+                            span: e.span.map(|s| s.0).unwrap_or(0),
+                            parent: None,
+                        },
+                    ),
+                ],
+            );
+        }
+        for pid in named {
+            let name = name_of(pid);
+            push_event(
+                &mut out,
+                &mut first,
+                &[
+                    ("name", JsonVal::Str("thread_name")),
+                    ("ph", JsonVal::Str("M")),
+                    ("pid", JsonVal::Num(node_of(pid) as u64)),
+                    ("tid", JsonVal::Num(pid.0 as u64)),
+                    ("args", JsonVal::NameArg(&name)),
+                ],
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+enum JsonVal<'a> {
+    Str(&'a str),
+    Num(u64),
+    /// Nanoseconds rendered as fractional microseconds (Chrome's unit).
+    Micros(u64),
+    SpanArgs {
+        span: u64,
+        parent: Option<u64>,
+    },
+    NameArg(&'a str),
+}
+
+fn push_event(out: &mut String, first: &mut bool, fields: &[(&str, JsonVal)]) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('{');
+    for (i, (key, val)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(key);
+        out.push_str("\":");
+        match val {
+            JsonVal::Str(s) => push_json_string(out, s),
+            JsonVal::Num(n) => out.push_str(&n.to_string()),
+            JsonVal::Micros(ns) => {
+                out.push_str(&format!("{}.{:03}", ns / 1_000, ns % 1_000));
+            }
+            JsonVal::SpanArgs { span, parent } => {
+                out.push_str(&format!("{{\"span\":{span}"));
+                if let Some(p) = parent {
+                    out.push_str(&format!(",\"parent\":{p}"));
+                }
+                out.push('}');
+            }
+            JsonVal::NameArg(name) => {
+                out.push_str("{\"name\":");
+                push_json_string(out, name);
+                out.push('}');
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 #[cfg(test)]
@@ -69,19 +516,140 @@ mod tests {
     use super::*;
 
     #[test]
-    fn disabled_trace_records_nothing() {
-        let mut t = Trace::new();
-        t.record(SimTime::ZERO, ProcessId(0), "x");
-        assert!(t.entries().is_empty());
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new();
+        let id = t.start(SpanKind::Handler, ProcessId(0), None, SimTime::ZERO, || {
+            panic!("label must not be evaluated when disabled")
+        });
+        assert!(id.is_none());
+        t.event(SimTime::ZERO, ProcessId(0), None, || {
+            panic!("event must not be evaluated when disabled")
+        });
+        assert!(t.spans().is_empty());
+        assert!(t.events().is_empty());
     }
 
     #[test]
-    fn enabled_trace_records_and_searches() {
-        let mut t = Trace::new();
+    fn enabled_tracer_records_and_searches() {
+        let mut t = Tracer::new();
         t.set_enabled(true);
-        t.record(SimTime::ZERO, ProcessId(0), "commit tx1");
-        assert_eq!(t.entries().len(), 1);
+        let id = t
+            .start(SpanKind::Txn, ProcessId(0), None, SimTime::ZERO, || {
+                "commit tx1".into()
+            })
+            .unwrap();
+        t.end(id, SimTime::from_nanos(500));
+        t.event(SimTime::from_nanos(100), ProcessId(0), Some(id), || {
+            "vote yes".into()
+        });
+        assert_eq!(t.spans().len(), 1);
         assert!(t.contains("tx1"));
+        assert!(t.contains("vote"));
         assert!(!t.contains("abort"));
+        assert_eq!(t.span(id).unwrap().duration().as_nanos(), 500);
+    }
+
+    #[test]
+    fn parent_links_and_subtree() {
+        let mut t = Tracer::new();
+        t.set_enabled(true);
+        let root = t
+            .start(SpanKind::RpcCall, ProcessId(1), None, SimTime::ZERO, || {
+                "root".into()
+            })
+            .unwrap();
+        let hop = t
+            .interval(
+                SpanKind::NetHop,
+                ProcessId(1),
+                Some(root),
+                SimTime::ZERO,
+                SimTime::from_nanos(10),
+                || "hop".into(),
+            )
+            .unwrap();
+        let other = t
+            .start(SpanKind::Saga, ProcessId(2), None, SimTime::ZERO, || {
+                "other".into()
+            })
+            .unwrap();
+        let leaf = t
+            .start(
+                SpanKind::Handler,
+                ProcessId(2),
+                Some(hop),
+                SimTime::from_nanos(10),
+                || "leaf".into(),
+            )
+            .unwrap();
+        assert_eq!(t.roots().count(), 2);
+        let sub: Vec<SpanId> = t.subtree(root).iter().map(|s| s.id).collect();
+        assert_eq!(sub, vec![root, hop, leaf]);
+        assert!(!t.subtree(root).iter().any(|s| s.id == other));
+        assert_eq!(t.children(root).count(), 1);
+        assert_eq!(t.children(hop).next().unwrap().id, leaf);
+    }
+
+    #[test]
+    fn breakdown_attributes_per_kind() {
+        let mut t = Tracer::new();
+        t.set_enabled(true);
+        for i in 0..10u64 {
+            let id = t
+                .start(
+                    SpanKind::LockWait,
+                    ProcessId(0),
+                    None,
+                    SimTime::from_nanos(i),
+                    || "w".into(),
+                )
+                .unwrap();
+            t.end(id, SimTime::from_nanos(i + 1_000));
+        }
+        // One still-open span must not be counted.
+        t.start(
+            SpanKind::LockWait,
+            ProcessId(0),
+            None,
+            SimTime::ZERO,
+            || "open".into(),
+        );
+        let b = t.breakdown();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].0, SpanKind::LockWait);
+        assert_eq!(b[0].1.count(), 10);
+        assert_eq!(b[0].1.mean().as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn capacity_drops_instead_of_evicting() {
+        let mut t = Tracer::new();
+        t.span_cap = 2;
+        t.set_enabled(true);
+        for _ in 0..5 {
+            t.start(SpanKind::Handler, ProcessId(0), None, SimTime::ZERO, || {
+                "x".into()
+            });
+        }
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_escapes_and_structures() {
+        let mut t = Tracer::new();
+        t.set_enabled(true);
+        let id = t
+            .start(SpanKind::Handler, ProcessId(0), None, SimTime::ZERO, || {
+                "say \"hi\"\\".into()
+            })
+            .unwrap();
+        t.end(id, SimTime::from_nanos(1_500));
+        let json = t.chrome_trace(SimTime::from_nanos(2_000), |_| 0, |_| "p".into());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("say \\\"hi\\\"\\\\"));
+        assert!(json.contains("\"dur\":1.500"));
+        assert!(json.contains("\"thread_name\""));
     }
 }

@@ -14,6 +14,7 @@
 //!   parking.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod engine;

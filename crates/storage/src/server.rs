@@ -18,7 +18,7 @@ use std::rc::Rc;
 use tca_sim::DetHashMap as HashMap;
 
 use tca_sim::wire::{RpcReply, RpcRequest};
-use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration};
+use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration, SpanId, SpanKind};
 
 use crate::engine::{CommitResult, Engine, EngineConfig, OpResult};
 use crate::proc::{run_proc, ProcOutcome, ProcRegistry};
@@ -191,6 +191,9 @@ struct ReturnAddr {
     client: ProcessId,
     token: u64,
     rpc_call: Option<u64>,
+    /// Lock-wait span opened when the request parked; the reply path
+    /// closes it and parents the response hop under it.
+    span: Option<SpanId>,
 }
 
 struct ParkedCall {
@@ -276,6 +279,12 @@ impl DbServer {
         let depart = start + lat;
         self.busy_until = depart;
         let lat = depart.since(ctx.now());
+        // Attribute the reply (and any queueing) to the request's lock-wait
+        // span when it parked; otherwise to the current handler span.
+        ctx.trace_enter(addr.span);
+        if start > ctx.now() {
+            ctx.trace_interval(SpanKind::QueueWait, start, || "queued".into());
+        }
         if let Some(call_id) = addr.rpc_call {
             // Cache for duplicate retries of the same logical call.
             self.dedup
@@ -302,6 +311,8 @@ impl DbServer {
                 lat,
             );
         }
+        ctx.trace_exit(addr.span);
+        ctx.trace_span_end(addr.span);
     }
 
     fn deliver_resumptions(&mut self, ctx: &mut Ctx, resumed: Vec<crate::engine::Resumption>) {
@@ -365,8 +376,13 @@ impl DbServer {
             {
                 ctx.metrics()
                     .incr(&format!("{}.call_retries", self.name), 1);
+                // First conflict opens the lock-wait span; later retries of
+                // the same call keep it until the final reply closes it.
+                let span = addr
+                    .span
+                    .or_else(|| ctx.trace_span(SpanKind::LockWait, || format!("conflict {proc}")));
                 self.retry_queue.push_back(ParkedCall {
-                    addr,
+                    addr: ReturnAddr { span, ..addr },
                     proc,
                     args,
                     attempts: attempts + 1,
@@ -428,6 +444,7 @@ impl Process for DbServer {
                         client: from,
                         token: msg.token,
                         rpc_call,
+                        span: None,
                     };
                     self.reply(ctx, addr, resp, self.config.read_latency);
                     return;
@@ -453,6 +470,7 @@ impl Process for DbServer {
             client: from,
             token: msg.token,
             rpc_call,
+            span: None,
         };
         match msg.req.clone() {
             DbRequest::Begin { iso } => {
@@ -477,7 +495,8 @@ impl Process for DbServer {
                     }
                     OpResult::Blocked => {
                         ctx.metrics().incr(&format!("{}.lock_waits", self.name), 1);
-                        self.parked.insert(tx, addr);
+                        let span = ctx.trace_span(SpanKind::LockWait, || format!("lock {key}"));
+                        self.parked.insert(tx, ReturnAddr { span, ..addr });
                     }
                     OpResult::Aborted(reason) => {
                         self.reply(
@@ -499,7 +518,8 @@ impl Process for DbServer {
                     }
                     OpResult::Blocked => {
                         ctx.metrics().incr(&format!("{}.lock_waits", self.name), 1);
-                        self.parked.insert(tx, addr);
+                        let span = ctx.trace_span(SpanKind::LockWait, || format!("lock {key}"));
+                        self.parked.insert(tx, ReturnAddr { span, ..addr });
                     }
                     OpResult::Aborted(reason) => {
                         self.reply(

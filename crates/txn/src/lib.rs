@@ -17,6 +17,7 @@
 //! - [`causal`] — vector clocks and causal delivery (Antipode direction).
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod actor_txn;
 pub mod causal;

@@ -19,7 +19,7 @@ use tca_sim::DetHashMap as HashMap;
 
 use tca_messaging::rpc::{reply_to, RetryPolicy, RpcClient, RpcEvent, RpcRequest};
 use tca_models::microservice::Vars;
-use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration};
+use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration, SpanId, SpanKind};
 use tca_storage::{DbMsg, DbReply, DbRequest, DbResponse, Value};
 
 /// Argument builder over the saga's variable context.
@@ -125,6 +125,11 @@ struct SagaJournal {
 struct Instance {
     entry: JournalEntry,
     caller: Option<(ProcessId, u64)>,
+    /// Trace span covering the whole saga (fresh starts only; resumed
+    /// instances have lost their pre-crash tree and run untraced).
+    span: Option<SpanId>,
+    /// Trace span of the step or compensation currently in flight.
+    step_span: Option<SpanId>,
 }
 
 /// The saga orchestrator process.
@@ -170,6 +175,8 @@ impl SagaOrchestrator {
                     Instance {
                         entry: entry.clone(),
                         caller: None,
+                        span: None,
+                        step_span: None,
                     },
                 );
             }
@@ -257,11 +264,11 @@ impl SagaOrchestrator {
             // a resumed orchestrator re-issues the same wire id, so the
             // database's dedup cache replays the result instead of
             // re-executing the step (exactly-once steps across crashes).
-            let (phase_tag, step_index) = {
+            let (phase_tag, step_index, instance_span) = {
                 let instance = self.instances.get(&id).expect("present");
                 match instance.entry.phase {
-                    Phase::Forward => (1u64, instance.entry.cursor as u64),
-                    Phase::Compensating => (2u64, instance.entry.comp_cursor as u64),
+                    Phase::Forward => (1u64, instance.entry.cursor as u64, instance.span),
+                    Phase::Compensating => (2u64, instance.entry.comp_cursor as u64, instance.span),
                 }
             };
             let wire_id = 0x5a6a_0000u64
@@ -269,6 +276,17 @@ impl SagaOrchestrator {
                 .wrapping_add(id)
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                 .wrapping_add((phase_tag << 32) | step_index);
+            // Step spans are children of the saga span; the RPC (with its
+            // retries) nests inside the step.
+            let kind = if phase_tag == 1 {
+                SpanKind::SagaStep
+            } else {
+                SpanKind::SagaCompensation
+            };
+            ctx.trace_enter(instance_span);
+            let step_span = ctx.trace_span(kind, || proc.clone());
+            ctx.trace_exit(instance_span);
+            ctx.trace_enter(step_span);
             self.rpc.call_with_id(
                 ctx,
                 db,
@@ -280,6 +298,10 @@ impl SagaOrchestrator {
                 id,
                 wire_id,
             );
+            ctx.trace_exit(step_span);
+            if let Some(instance) = self.instances.get_mut(&id) {
+                instance.step_span = step_span;
+            }
         }
     }
 
@@ -288,6 +310,7 @@ impl SagaOrchestrator {
             let Some(instance) = self.instances.get_mut(&id) else {
                 return;
             };
+            ctx.trace_span_end(instance.step_span.take());
             instance.entry.phase
         };
         match phase {
@@ -341,6 +364,9 @@ impl SagaOrchestrator {
         };
         ctx.metrics().incr(metric, 1);
         if let Some((client, call_id)) = instance.caller {
+            // The reply hop is part of the saga span; end the span once the
+            // outcome has been handed to the network.
+            ctx.trace_enter(instance.span);
             reply_to(
                 ctx,
                 client,
@@ -353,7 +379,9 @@ impl SagaOrchestrator {
                     error: instance.entry.failure,
                 }),
             );
+            ctx.trace_exit(instance.span);
         }
+        ctx.trace_span_end(instance.span);
     }
 
     fn handle_db_event(&mut self, ctx: &mut Ctx, event: RpcEvent) {
@@ -409,6 +437,7 @@ impl Process for SagaOrchestrator {
         }
         let id = self.next_instance;
         self.next_instance += 1;
+        let span = ctx.trace_span(SpanKind::Saga, || format!("saga {}", start.saga));
         self.instances.insert(
             id,
             Instance {
@@ -421,6 +450,8 @@ impl Process for SagaOrchestrator {
                     failure: None,
                 },
                 caller: Some((from, request.call_id)),
+                span,
+                step_span: None,
             },
         );
         ctx.metrics().incr("saga.started", 1);

@@ -15,7 +15,7 @@ use std::rc::Rc;
 use tca_sim::{DetHashMap as HashMap, DetHashSet as HashSet};
 
 use tca_messaging::rpc::{reply_to, RpcRequest};
-use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration};
+use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration, SpanId, SpanKind};
 use tca_storage::{
     proc::run_proc_open, DurableCell, DurableLog, Engine, EngineConfig, ProcOutcome, ProcRegistry,
     TxId, Value,
@@ -481,6 +481,11 @@ struct Dtx {
     started: tca_sim::SimTime,
     /// When the current phase was entered (drives deadlines).
     phase_since: tca_sim::SimTime,
+    /// Trace span covering the whole transaction.
+    span: Option<SpanId>,
+    /// Trace span of the current phase (execute/prepare/decide), a child
+    /// of `span`; sweeps re-enter it so retries attach to their phase.
+    phase_span: Option<SpanId>,
 }
 
 /// The durable decision journal: txid → (commit?, participants).
@@ -538,6 +543,8 @@ impl TwoPcCoordinator {
                         caller: None,
                         started: boot.now,
                         phase_since: boot.now,
+                        span: None,
+                        phase_span: None,
                     },
                 );
             }
@@ -565,6 +572,10 @@ impl TwoPcCoordinator {
         if error.is_some() {
             dtx.error = error;
         }
+        ctx.trace_span_end(dtx.phase_span);
+        ctx.trace_enter(dtx.span);
+        dtx.phase_span = ctx.trace_span(SpanKind::TxnDecide, || format!("decide {txid}"));
+        ctx.trace_exit(dtx.span);
         let participants: HashSet<ProcessId> = dtx.branches.iter().map(|(p, _, _)| *p).collect();
         // Presumed abort: only COMMIT decisions must be durable before
         // release — journaled with the participant list so a restarted
@@ -575,9 +586,12 @@ impl TwoPcCoordinator {
             self.decisions.borrow_mut().insert(txid, (true, list));
         }
         dtx.pending = participants.clone();
+        let phase_span = dtx.phase_span;
+        ctx.trace_enter(phase_span);
         for participant in participants {
             ctx.send(participant, Payload::new(DecisionReq { txid, commit }));
         }
+        ctx.trace_exit(phase_span);
     }
 
     fn finish(&mut self, ctx: &mut Ctx, txid: u64) {
@@ -593,6 +607,7 @@ impl TwoPcCoordinator {
         ctx.metrics().incr(metric, 1);
         let elapsed = ctx.now().since(dtx.started);
         ctx.metrics().record("dtx.latency", elapsed);
+        ctx.trace_enter(dtx.span);
         if let Some((client, call_id)) = dtx.caller {
             reply_to(
                 ctx,
@@ -607,6 +622,9 @@ impl TwoPcCoordinator {
                 }),
             );
         }
+        ctx.trace_exit(dtx.span);
+        ctx.trace_span_end(dtx.phase_span);
+        ctx.trace_span_end(dtx.span);
     }
 }
 
@@ -644,6 +662,10 @@ impl Process for TwoPcCoordinator {
             let txid = self.next_txid;
             let participants: HashSet<ProcessId> =
                 start.branches.iter().map(|(p, _, _)| *p).collect();
+            let span = ctx.trace_span(SpanKind::Txn, || format!("dtx {txid}"));
+            ctx.trace_enter(span);
+            let phase_span = ctx.trace_span(SpanKind::TxnExecute, || format!("execute {txid}"));
+            ctx.trace_exit(span);
             let dtx = Dtx {
                 branches: start.branches.clone(),
                 phase: DtxPhase::Executing,
@@ -654,7 +676,10 @@ impl Process for TwoPcCoordinator {
                 caller: Some((from, request.call_id)),
                 started: ctx.now(),
                 phase_since: ctx.now(),
+                span,
+                phase_span,
             };
+            ctx.trace_enter(phase_span);
             for (branch, (participant, proc, args)) in dtx.branches.iter().enumerate() {
                 ctx.send(
                     *participant,
@@ -666,6 +691,7 @@ impl Process for TwoPcCoordinator {
                     }),
                 );
             }
+            ctx.trace_exit(phase_span);
             self.txns.insert(txid, dtx);
             ctx.metrics().incr("dtx.started", 1);
         } else if let Some(resp) = payload.downcast_ref::<ExecuteResp>() {
@@ -683,12 +709,20 @@ impl Process for TwoPcCoordinator {
                         // Phase 2: prepare everywhere.
                         dtx.phase = DtxPhase::Preparing;
                         dtx.phase_since = ctx.now();
+                        ctx.trace_span_end(dtx.phase_span);
+                        ctx.trace_enter(dtx.span);
+                        dtx.phase_span =
+                            ctx.trace_span(SpanKind::TxnPrepare, || format!("prepare {txid}"));
+                        ctx.trace_exit(dtx.span);
                         let participants: HashSet<ProcessId> =
                             dtx.branches.iter().map(|(p, _, _)| *p).collect();
                         dtx.pending = participants.clone();
+                        let phase_span = dtx.phase_span;
+                        ctx.trace_enter(phase_span);
                         for participant in participants {
                             ctx.send(participant, Payload::new(PrepareReq { txid }));
                         }
+                        ctx.trace_exit(phase_span);
                     }
                 }
                 Err(e) => {
@@ -772,15 +806,18 @@ impl Process for TwoPcCoordinator {
                     if now.since(dtx.phase_since) > self.config.prepare_deadline {
                         expired.push((txid, "prepare deadline"));
                     } else {
+                        ctx.trace_enter(dtx.phase_span);
                         for &participant in &dtx.pending {
                             ctx.metrics().incr("dtx.prepare_resends", 1);
                             ctx.send(participant, Payload::new(PrepareReq { txid }));
                         }
+                        ctx.trace_exit(dtx.phase_span);
                     }
                 }
                 DtxPhase::Deciding => {
                     // Decisions retry forever: they are idempotent and the
                     // transaction cannot finish until every ack arrives.
+                    ctx.trace_enter(dtx.phase_span);
                     for &participant in &dtx.pending {
                         ctx.metrics().incr("dtx.decision_resends", 1);
                         ctx.send(
@@ -791,6 +828,7 @@ impl Process for TwoPcCoordinator {
                             }),
                         );
                     }
+                    ctx.trace_exit(dtx.phase_span);
                 }
             }
         }

@@ -12,6 +12,7 @@
 //! - [`loadgen`] — closed-loop vs. open-loop (Poisson) generators.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod hotel;
 pub mod loadgen;

@@ -14,6 +14,9 @@ use tca::workloads::loadgen::{ClosedLoopConfig, ClosedLoopGen};
 
 fn main() {
     let mut sim = Sim::with_seed(2024);
+    // Record causal spans for every request — zero schedule impact, and
+    // exported as a Chrome trace at the end.
+    sim.set_tracing(true);
 
     // 1. Two service databases (stock, payment) on their own nodes.
     let stock_node = sim.add_node();
@@ -169,4 +172,16 @@ fn main() {
     let paid = (500 - balance) / 25;
     assert_eq!(sold, paid, "saga atomicity: units sold == units paid for");
     println!("invariant holds: units sold ({sold}) == checkouts paid ({paid})");
+
+    // Every checkout left a causal span tree (client RPC → network hops
+    // → saga → steps → DB handlers). Export them for chrome://tracing
+    // or https://ui.perfetto.dev.
+    let trace_path = std::env::temp_dir().join("tca_quickstart_trace.json");
+    std::fs::write(&trace_path, sim.chrome_trace()).expect("write trace");
+    println!(
+        "spans recorded       : {} ({} sagas) -> {}",
+        sim.tracer().spans().len(),
+        sim.tracer().spans_of_kind(tca::sim::SpanKind::Saga).count(),
+        trace_path.display()
+    );
 }

@@ -4,24 +4,39 @@
 # nondeterminism leaked into the simulation (ambient randomness, hash
 # iteration order, wall-clock reads) and fails the build.
 #
+# A third run with TCA_TRACE=1 must match the baseline byte-for-byte as
+# well: causal span tracing is required to be a pure observer — if
+# recording spans shifts a single metric, the tracer has perturbed the
+# schedule or the RNG stream.
+#
 # Usage: scripts/determinism_gate.sh [seed]
 set -eu
 
 SEED="${1:-42}"
 OUT_A="$(mktemp)"
 OUT_B="$(mktemp)"
-trap 'rm -f "$OUT_A" "$OUT_B"' EXIT
+OUT_T="$(mktemp)"
+trap 'rm -f "$OUT_A" "$OUT_B" "$OUT_T"' EXIT
 
 export CARGO_NET_OFFLINE=true
 cargo build -q -p tca-bench --bin experiments --release --offline
 
 ./target/release/experiments --seed "$SEED" >"$OUT_A"
 ./target/release/experiments --seed "$SEED" >"$OUT_B"
+TCA_TRACE=1 ./target/release/experiments --seed "$SEED" >"$OUT_T"
 
 if cmp -s "$OUT_A" "$OUT_B"; then
     echo "DETERMINISM-OK: two seed=$SEED runs are byte-identical ($(wc -c <"$OUT_A") bytes)"
 else
     echo "DETERMINISM-FAIL: same-seed runs diverged (seed=$SEED)" >&2
     diff "$OUT_A" "$OUT_B" >&2 || true
+    exit 1
+fi
+
+if cmp -s "$OUT_A" "$OUT_T"; then
+    echo "TRACE-DETERMINISM-OK: TCA_TRACE=1 run matches the baseline byte-for-byte"
+else
+    echo "TRACE-DETERMINISM-FAIL: tracing perturbed the seed=$SEED run" >&2
+    diff "$OUT_A" "$OUT_T" >&2 || true
     exit 1
 fi

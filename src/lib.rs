@@ -10,6 +10,7 @@
 //! paper's taxonomy to modules.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use tca_core as core;
 pub use tca_messaging as messaging;
