@@ -100,6 +100,11 @@ fn main() {
             "E16: latency breakdown via span tracing (§5.1)",
             ex::e16_latency_breakdown,
         ),
+        (
+            "e17",
+            "E17: overload resilience — naive retries vs full stack (§5.3)",
+            ex::e17_overload_resilience,
+        ),
     ];
 
     for (name, title, f) in suite {

@@ -78,6 +78,9 @@ pub enum BrokerResponse {
     },
     /// The publish failed (unknown topic).
     PublishFailed,
+    /// The publish was refused because the topic's unconsumed backlog is
+    /// at the broker's configured bound — publish-side backpressure.
+    Backpressure,
     /// Fetched records (possibly empty).
     Records {
         /// Topic fetched.
@@ -109,6 +112,10 @@ pub struct BrokerConfig {
     pub publish_latency: SimDuration,
     /// Latency charged on fetch replies.
     pub fetch_latency: SimDuration,
+    /// Refuse publishes once a topic's deepest unconsumed backlog (see
+    /// [`TopicStore::backlog`]) reaches this many records. `None` (the
+    /// default) keeps the historical accept-everything behaviour.
+    pub max_backlog: Option<u64>,
 }
 
 impl Default for BrokerConfig {
@@ -116,7 +123,17 @@ impl Default for BrokerConfig {
         BrokerConfig {
             publish_latency: SimDuration::from_micros(80),
             fetch_latency: SimDuration::from_micros(40),
+            max_backlog: None,
         }
+    }
+}
+
+impl BrokerConfig {
+    /// Bound the unconsumed backlog per topic, enabling publish-side
+    /// backpressure ([`BrokerResponse::Backpressure`]).
+    pub fn with_max_backlog(mut self, records: u64) -> Self {
+        self.max_backlog = Some(records);
+        self
     }
 }
 
@@ -171,6 +188,19 @@ impl Process for Broker {
                 );
             }
             BrokerRequest::Publish { topic, key, body } => {
+                if let Some(limit) = self.config.max_backlog {
+                    if self.store.backlog(&topic) >= limit {
+                        ctx.metrics().incr("broker.backpressure", 1);
+                        self.reply(
+                            ctx,
+                            from,
+                            token,
+                            BrokerResponse::Backpressure,
+                            self.config.publish_latency,
+                        );
+                        return;
+                    }
+                }
                 ctx.metrics().incr("broker.published", 1);
                 let resp = match self.store.append(&topic, key, body) {
                     Some((partition, offset)) => BrokerResponse::Published { partition, offset },
@@ -382,6 +412,42 @@ mod tests {
         assert!(
             processed >= 20,
             "all records eventually processed: {processed}"
+        );
+    }
+
+    #[test]
+    fn backlog_bound_refuses_publishes_until_consumers_catch_up() {
+        // No consumer is running, so every accepted record stays in the
+        // backlog: with a bound of 10 the broker takes exactly 10 of the
+        // 25 publishes and refuses the rest.
+        let mut sim = Sim::with_seed(34);
+        let nb = sim.add_node();
+        let nc = sim.add_node();
+        let broker = sim.spawn(
+            nb,
+            "broker",
+            Broker::factory(BrokerConfig::default().with_max_backlog(10)),
+        );
+        sim.spawn(nc, "pub", move |_| Box::new(Publisher { broker, n: 25 }));
+        sim.run_for(SimDuration::from_millis(50));
+        assert_eq!(sim.metrics().counter("broker.published"), 10);
+        assert_eq!(sim.metrics().counter("broker.backpressure"), 15);
+
+        // A consumer draining and committing frees backlog budget again.
+        sim.spawn(nc, "consumer", move |_| {
+            Box::new(Consumer {
+                broker,
+                commit_before_processing: false,
+                processed: 0,
+            })
+        });
+        sim.run_for(SimDuration::from_millis(50));
+        sim.spawn(nc, "pub2", move |_| Box::new(Publisher { broker, n: 5 }));
+        sim.run_for(SimDuration::from_millis(50));
+        assert_eq!(
+            sim.metrics().counter("broker.published"),
+            15,
+            "publishes are admitted again once the backlog drains"
         );
     }
 

@@ -36,5 +36,8 @@ pub use outbox::{
 pub use queue::{
     Leased, QueueConfig, QueueMsg, QueueReply, QueueRequest, QueueResponse, QueueServer, QueueStore,
 };
-pub use rpc::{reply_to, CallId, RetryPolicy, RpcClient, RpcEvent, RpcReply, RpcRequest};
+pub use rpc::{
+    reply_to, BreakerConfig, CallId, RetryBudget, RetryPolicy, RpcClient, RpcEvent, RpcReply,
+    RpcRequest,
+};
 pub use torture::delivery_torture_scenario;

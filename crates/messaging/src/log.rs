@@ -165,6 +165,30 @@ impl TopicStore {
     pub fn lag(&self, group: &str, topic: &str, partition: u32) -> u64 {
         self.end_offset(topic, partition) - self.committed_offset(group, topic, partition)
     }
+
+    /// Deepest unconsumed backlog across the topic's partitions: records
+    /// above the *slowest* group's committed offset. A topic nobody has
+    /// committed on counts every record as backlog — that is exactly the
+    /// queue a broker must bound to avoid unbounded growth under overload.
+    pub fn backlog(&self, topic: &str) -> u64 {
+        let inner = self.inner.borrow();
+        let Some(t) = inner.topics.get(topic) else {
+            return 0;
+        };
+        let mut worst = 0u64;
+        for (p, partition) in t.partitions.iter().enumerate() {
+            let end = partition.records.len() as u64;
+            let min_committed = inner
+                .committed
+                .iter()
+                .filter(|((_, tp, part), _)| tp == topic && *part == p as u32)
+                .map(|(_, &off)| off)
+                .min()
+                .unwrap_or(0);
+            worst = worst.max(end.saturating_sub(min_committed));
+        }
+        worst
+    }
 }
 
 #[cfg(test)]

@@ -8,10 +8,18 @@
 //!
 //! Timer tags in `0x5250_0000_0000_0000..` are reserved for RPC; hosts
 //! forward their `on_timer` calls to [`RpcClient::on_timer`] first.
+//!
+//! Overload resilience lives here too: retry backoff can carry seeded
+//! jitter (so concurrent clients de-synchronize instead of retrying in
+//! lockstep), a [`RetryBudget`] token bucket caps retries to a fraction of
+//! fresh traffic, and a per-destination circuit [`BreakerConfig`] sheds
+//! calls fast while a destination is failing. All three are opt-in and the
+//! defaults preserve the historical byte-for-byte deterministic behaviour
+//! (no extra RNG draws unless jitter is enabled).
 
 use tca_sim::DetHashMap as HashMap;
 
-use tca_sim::{Ctx, Payload, ProcessId, SimDuration, SpanId, SpanKind};
+use tca_sim::{Ctx, Payload, ProcessId, SimDuration, SimTime, SpanId, SpanKind};
 
 pub use tca_sim::wire::{RpcReply, RpcRequest};
 
@@ -27,6 +35,12 @@ pub struct RetryPolicy {
     pub timeout: SimDuration,
     /// Multiply the timeout by this per retry (exponential backoff).
     pub backoff: f64,
+    /// Fraction of the backed-off timeout added as uniform random jitter
+    /// per retry, drawn from the deterministic sim RNG. `0.0` (the
+    /// default) draws nothing, keeping legacy RNG streams intact; without
+    /// jitter, clients that failed together retry together — the
+    /// synchronized-retry-storm pattern that melts recovering servers.
+    pub jitter: f64,
 }
 
 impl RetryPolicy {
@@ -36,6 +50,7 @@ impl RetryPolicy {
             max_attempts: 1,
             timeout,
             backoff: 1.0,
+            jitter: 0.0,
         }
     }
 
@@ -46,7 +61,15 @@ impl RetryPolicy {
             max_attempts,
             timeout,
             backoff: 2.0,
+            jitter: 0.0,
         }
+    }
+
+    /// Add seeded jitter: each retry waits `timeout * backoff^n` plus a
+    /// uniform draw in `[0, fraction × that)`.
+    pub fn with_jitter(mut self, fraction: f64) -> Self {
+        self.jitter = fraction;
+        self
     }
 }
 
@@ -54,6 +77,69 @@ impl Default for RetryPolicy {
     fn default() -> Self {
         RetryPolicy::retrying(5, SimDuration::from_millis(5))
     }
+}
+
+/// Token-bucket retry budget: retries are capped to a fraction of fresh
+/// traffic, the mechanism production RPC stacks (gRPC retry throttling,
+/// Finagle retry budgets) use to stop retry amplification from turning a
+/// brown-out into a metastable outage. Each fresh call earns `ratio`
+/// tokens (capped at `cap`); each retry spends one. An empty bucket fails
+/// the call instead of retrying and counts `retry.budget_exhausted`.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryBudget {
+    /// Tokens earned per fresh (first-attempt) call.
+    pub ratio: f64,
+    /// Maximum tokens banked; also the initial balance.
+    pub cap: f64,
+}
+
+impl RetryBudget {
+    /// Budget allowing roughly `ratio` retries per fresh call.
+    pub fn new(ratio: f64, cap: f64) -> Self {
+        RetryBudget { ratio, cap }
+    }
+}
+
+impl Default for RetryBudget {
+    /// 10% retry overhead, bursting to 10 banked retries.
+    fn default() -> Self {
+        RetryBudget::new(0.1, 10.0)
+    }
+}
+
+/// Per-destination circuit breaker configuration.
+///
+/// State machine: **Closed** (counting consecutive failures) →
+/// **Open** after `failure_threshold` of them (all calls shed for
+/// `open_for`) → **HalfOpen** (up to `half_open_probes` probe calls
+/// admitted) → back to Closed on a probe success, or re-Open on a probe
+/// failure. Transitions increment `breaker.open`, `breaker.half_open`,
+/// and `breaker.closed`.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long to shed before allowing probes.
+    pub open_for: SimDuration,
+    /// Concurrent probe calls admitted while half-open.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            open_for: SimDuration::from_millis(100),
+            half_open_probes: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BreakerState {
+    Closed { consecutive_failures: u32 },
+    Open { until: SimTime },
+    HalfOpen { in_flight: u32 },
 }
 
 /// Identifies one logical call made through an [`RpcClient`].
@@ -91,6 +177,10 @@ struct Pending {
     wire_id: u64,
     /// Trace span covering the whole call, retries included.
     span: Option<SpanId>,
+    /// Shed at admission (open breaker / expired deadline): nothing was
+    /// sent; the zero-delay timer fails the call without touching the
+    /// breaker's failure accounting.
+    shed: bool,
 }
 
 /// Client-side RPC state machine, embedded in a host process.
@@ -107,12 +197,109 @@ pub struct RpcClient {
     pending: HashMap<u64, Pending>,
     /// wire id → local seq, for reply matching.
     by_wire: HashMap<u64, u64>,
+    /// Retry token bucket (`None` = unlimited retries, the legacy mode).
+    budget: Option<RetryBudget>,
+    /// Current bucket balance.
+    budget_tokens: f64,
+    /// Circuit breaker config (`None` = no breakers).
+    breaker: Option<BreakerConfig>,
+    /// Per-destination breaker states, created on first call.
+    breakers: HashMap<ProcessId, BreakerState>,
 }
 
 impl RpcClient {
     /// Fresh client.
     pub fn new() -> Self {
         RpcClient::default()
+    }
+
+    /// Cap retries with a token bucket; see [`RetryBudget`].
+    pub fn with_budget(mut self, budget: RetryBudget) -> Self {
+        self.budget = Some(budget);
+        self.budget_tokens = budget.cap;
+        self
+    }
+
+    /// Shed calls to failing destinations; see [`BreakerConfig`].
+    pub fn with_breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker = Some(config);
+        self
+    }
+
+    /// Admission check against `dest`'s breaker; lazily transitions
+    /// Open → HalfOpen once the open window has elapsed. Returns whether
+    /// the call may proceed (and reserves a probe slot when half-open).
+    fn breaker_admit(&mut self, ctx: &mut Ctx, dest: ProcessId) -> bool {
+        let Some(config) = self.breaker else {
+            return true;
+        };
+        let state = self.breakers.entry(dest).or_insert(BreakerState::Closed {
+            consecutive_failures: 0,
+        });
+        match state {
+            BreakerState::Closed { .. } => true,
+            BreakerState::Open { until } => {
+                if ctx.now() >= *until {
+                    *state = BreakerState::HalfOpen { in_flight: 1 };
+                    ctx.metrics().incr("breaker.half_open", 1);
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen { in_flight } => {
+                if *in_flight < config.half_open_probes {
+                    *in_flight += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a call outcome in `dest`'s breaker.
+    fn breaker_record(&mut self, ctx: &mut Ctx, dest: ProcessId, ok: bool) {
+        let Some(config) = self.breaker else {
+            return;
+        };
+        let Some(state) = self.breakers.get_mut(&dest) else {
+            return;
+        };
+        match state {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                if ok {
+                    *consecutive_failures = 0;
+                } else {
+                    *consecutive_failures += 1;
+                    if *consecutive_failures >= config.failure_threshold {
+                        *state = BreakerState::Open {
+                            until: ctx.now() + config.open_for,
+                        };
+                        ctx.metrics().incr("breaker.open", 1);
+                    }
+                }
+            }
+            BreakerState::HalfOpen { in_flight } => {
+                *in_flight = in_flight.saturating_sub(1);
+                if ok {
+                    *state = BreakerState::Closed {
+                        consecutive_failures: 0,
+                    };
+                    ctx.metrics().incr("breaker.closed", 1);
+                } else {
+                    *state = BreakerState::Open {
+                        until: ctx.now() + config.open_for,
+                    };
+                    ctx.metrics().incr("breaker.open", 1);
+                }
+            }
+            // A completion for a call admitted before the breaker opened;
+            // the window already charges for it, nothing more to learn.
+            BreakerState::Open { .. } => {}
+        }
     }
 
     /// Issue a call. `user_tag` is echoed in the resulting [`RpcEvent`] so
@@ -148,6 +335,34 @@ impl RpcClient {
         assert!(policy.max_attempts >= 1);
         self.next_seq += 1;
         let seq = self.next_seq;
+        // Admission: a request whose deadline already passed, or whose
+        // destination breaker is open, is shed without touching the wire.
+        // The host still learns of it through its normal completion path —
+        // a zero-delay timer delivers `RpcEvent::Failed` on the next tick.
+        if ctx.deadline_expired() || !self.breaker_admit(ctx, dest) {
+            ctx.metrics().incr("rpc.shed", 1);
+            self.pending.insert(
+                seq,
+                Pending {
+                    dest,
+                    body,
+                    policy,
+                    attempts_left: 0,
+                    current_timeout: SimDuration::ZERO,
+                    user_tag,
+                    wire_id,
+                    span: None,
+                    shed: true,
+                },
+            );
+            self.by_wire.insert(wire_id, seq);
+            ctx.set_timer(SimDuration::ZERO, RPC_TAG_BASE | seq);
+            return CallId(wire_id);
+        }
+        // Fresh traffic earns retry tokens (see `RetryBudget`).
+        if let Some(budget) = self.budget {
+            self.budget_tokens = (self.budget_tokens + budget.ratio).min(budget.cap);
+        }
         // The call span covers first send to reply/failure. Entering it
         // makes the request hop and the timeout timer carry it, so retries
         // fired from that timer stay inside the same call subtree.
@@ -174,6 +389,7 @@ impl RpcClient {
                 user_tag,
                 wire_id,
                 span,
+                shed: false,
             },
         );
         self.by_wire.insert(wire_id, seq);
@@ -187,6 +403,7 @@ impl RpcClient {
         let seq = self.by_wire.remove(&reply.call_id)?;
         let pending = self.pending.remove(&seq)?;
         ctx.trace_span_end(pending.span);
+        self.breaker_record(ctx, pending.dest, true);
         Some(RpcEvent::Reply {
             call: CallId(reply.call_id),
             user_tag: pending.user_tag,
@@ -205,24 +422,51 @@ impl RpcClient {
             // Reply already arrived; stale timeout.
             return Some(None);
         };
-        if pending.attempts_left == 0 {
+        // Decide whether to retry. Attempt exhaustion is a real failure the
+        // breaker should learn from; a shed admission, an expired deadline,
+        // and an empty retry budget give up without charging the breaker a
+        // second time (shed) or at all (deadline — the destination may be
+        // healthy, the caller is just out of time).
+        let exhausted = pending.attempts_left == 0;
+        let deadline_dead = !exhausted && !pending.shed && ctx.deadline_expired();
+        let budget_dead = !exhausted && !pending.shed && !deadline_dead && {
+            match self.budget {
+                None => false,
+                Some(_) if self.budget_tokens >= 1.0 => false,
+                Some(_) => true,
+            }
+        };
+        if pending.shed || exhausted || deadline_dead || budget_dead {
             let pending = self.pending.remove(&seq).expect("present");
             self.by_wire.remove(&pending.wire_id);
             ctx.metrics().incr("rpc.failures", 1);
+            if deadline_dead {
+                ctx.metrics().incr("rpc.deadline_giveup", 1);
+            }
+            if budget_dead {
+                ctx.metrics().incr("retry.budget_exhausted", 1);
+            }
             ctx.trace_span_end(pending.span);
+            if !pending.shed && !deadline_dead {
+                self.breaker_record(ctx, pending.dest, false);
+            }
             return Some(Some(RpcEvent::Failed {
                 call: CallId(pending.wire_id),
                 user_tag: pending.user_tag,
             }));
         }
+        if self.budget.is_some() {
+            self.budget_tokens -= 1.0;
+        }
         pending.attempts_left -= 1;
         pending.current_timeout = pending.current_timeout.mul_f64(pending.policy.backoff);
-        let (dest, body, timeout, wire_id) = (
-            pending.dest,
-            pending.body.clone(),
-            pending.current_timeout,
-            pending.wire_id,
-        );
+        let mut wait = pending.current_timeout;
+        if pending.policy.jitter > 0.0 {
+            // Seeded de-synchronization: only drawn when jitter is enabled,
+            // so jitter-free runs keep their historical RNG streams.
+            wait = wait + ctx.rng().jitter(wait.mul_f64(pending.policy.jitter));
+        }
+        let (dest, body, wire_id) = (pending.dest, pending.body.clone(), pending.wire_id);
         ctx.metrics().incr("rpc.retries", 1);
         ctx.send(
             dest,
@@ -231,7 +475,7 @@ impl RpcClient {
                 body,
             }),
         );
-        ctx.set_timer(timeout, RPC_TAG_BASE | seq);
+        ctx.set_timer(wait, RPC_TAG_BASE | seq);
         Some(None)
     }
 
@@ -368,6 +612,145 @@ mod tests {
             2,
             "3 attempts = 2 retries"
         );
+    }
+
+    /// Calls the server every `period`, forever, counting outcomes —
+    /// enough traffic to drive a breaker through its full lifecycle.
+    struct TickCaller {
+        server: ProcessId,
+        rpc: RpcClient,
+        policy: RetryPolicy,
+        period: SimDuration,
+    }
+    const TICK: u64 = 0x7e57_0001;
+    impl Process for TickCaller {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            self.rpc
+                .call(ctx, self.server, Payload::new(1u64), self.policy, 0);
+            ctx.set_timer(self.period, TICK);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx, _from: ProcessId, payload: Payload) {
+            if let Some(RpcEvent::Reply { .. }) = self.rpc.on_message(ctx, &payload) {
+                ctx.metrics().incr("caller.replies", 1);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+            if tag == TICK {
+                self.rpc
+                    .call(ctx, self.server, Payload::new(1u64), self.policy, 0);
+                ctx.set_timer(self.period, TICK);
+                return;
+            }
+            if let Some(Some(RpcEvent::Failed { .. })) = self.rpc.on_timer(ctx, tag) {
+                ctx.metrics().incr("caller.failures", 1);
+            }
+        }
+    }
+
+    #[test]
+    fn breaker_opens_sheds_half_opens_and_recovers() {
+        let mut sim = Sim::with_seed(12);
+        let n0 = sim.add_node();
+        let n1 = sim.add_node();
+        // Server ignores the first two requests, then serves everything.
+        let server = sim.spawn(n1, "server", |_| Box::new(EchoServer { drop_first: 2 }));
+        sim.spawn(n0, "caller", move |_| {
+            Box::new(TickCaller {
+                server,
+                rpc: RpcClient::new().with_breaker(BreakerConfig {
+                    failure_threshold: 2,
+                    open_for: SimDuration::from_millis(30),
+                    half_open_probes: 1,
+                }),
+                policy: RetryPolicy::at_most_once(SimDuration::from_millis(2)),
+                period: SimDuration::from_millis(5),
+            })
+        });
+        sim.run_for(SimDuration::from_millis(60));
+        let m = sim.metrics();
+        assert_eq!(m.counter("breaker.open"), 1, "two failures trip it once");
+        assert_eq!(m.counter("breaker.half_open"), 1, "probe after open_for");
+        assert_eq!(m.counter("breaker.closed"), 1, "probe success closes it");
+        assert!(
+            m.counter("rpc.shed") >= 4,
+            "calls during the open window are shed, got {}",
+            m.counter("rpc.shed")
+        );
+        assert!(
+            m.counter("caller.replies") >= 2,
+            "traffic flows again after recovery"
+        );
+        // Shed calls never touch the wire: only admitted calls count.
+        assert_eq!(
+            m.counter("net.sent"),
+            m.counter("rpc.calls") + m.counter("caller.replies"),
+            "each admitted call sends one request; each reply one response"
+        );
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_stops_retrying() {
+        let mut sim = Sim::with_seed(13);
+        let n0 = sim.add_node();
+        let n1 = sim.add_node();
+        let server = sim.spawn(n1, "server", |_| Box::new(EchoServer { drop_first: 99 }));
+        sim.spawn(n0, "caller", move |_| {
+            Box::new(Caller {
+                server,
+                rpc: RpcClient::new().with_budget(RetryBudget::new(0.0, 1.0)),
+                policy: RetryPolicy::retrying(5, SimDuration::from_millis(2)),
+            })
+        });
+        sim.run_for(SimDuration::from_millis(100));
+        let m = sim.metrics();
+        assert_eq!(m.counter("rpc.retries"), 1, "one banked token = one retry");
+        assert_eq!(m.counter("retry.budget_exhausted"), 1);
+        assert_eq!(m.counter("caller.failures"), 1);
+    }
+
+    /// Sets an already-expired deadline, then calls: the client must shed
+    /// without touching the wire and still deliver `Failed` to the host.
+    struct ExpiredCaller {
+        server: ProcessId,
+        rpc: RpcClient,
+    }
+    impl Process for ExpiredCaller {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_deadline(Some(ctx.now()));
+            self.rpc.call(
+                ctx,
+                self.server,
+                Payload::new(1u64),
+                RetryPolicy::default(),
+                0,
+            );
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx, _from: ProcessId, _payload: Payload) {}
+        fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+            if let Some(Some(RpcEvent::Failed { .. })) = self.rpc.on_timer(ctx, tag) {
+                ctx.metrics().incr("caller.failures", 1);
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_sheds_call_before_the_wire() {
+        let mut sim = Sim::with_seed(14);
+        let n0 = sim.add_node();
+        let n1 = sim.add_node();
+        let server = sim.spawn(n1, "server", |_| Box::new(EchoServer { drop_first: 0 }));
+        sim.spawn(n0, "caller", move |_| {
+            Box::new(ExpiredCaller {
+                server,
+                rpc: RpcClient::new(),
+            })
+        });
+        sim.run_for(SimDuration::from_millis(50));
+        let m = sim.metrics();
+        assert_eq!(m.counter("rpc.shed"), 1);
+        assert_eq!(m.counter("rpc.calls"), 0, "nothing sent");
+        assert_eq!(m.counter("server.handled"), 0);
+        assert_eq!(m.counter("caller.failures"), 1, "host still sees Failed");
     }
 
     #[test]

@@ -563,6 +563,11 @@ pub struct SiloConfig {
     pub heartbeat_interval: SimDuration,
     /// Deactivate activations idle for this long (None = never).
     pub idle_deactivate: Option<SimDuration>,
+    /// Bulkhead: cap on invocations queued + executing per actor *class*
+    /// (type name) on this silo. Beyond it, new invocations are rejected
+    /// immediately with an error — one noisy actor type saturating the
+    /// silo cannot starve the others. `None` (default) = unbounded.
+    pub bulkhead: Option<usize>,
 }
 
 impl SiloConfig {
@@ -573,7 +578,14 @@ impl SiloConfig {
             state_db: None,
             heartbeat_interval: SimDuration::from_millis(5),
             idle_deactivate: None,
+            bulkhead: None,
         }
+    }
+
+    /// Cap concurrent invocations per actor class; see `bulkhead`.
+    pub fn with_bulkhead(mut self, limit: usize) -> Self {
+        self.bulkhead = Some(limit);
+        self
     }
 
     /// Persistent-actor silo writing state through to `db`.
@@ -996,6 +1008,33 @@ impl Process for ActorSilo {
                 return;
             }
             None => {}
+        }
+        // Bulkhead: reject when this actor class already has `limit`
+        // invocations queued or executing on the silo. Rejected calls are
+        // not remembered in `recent_invokes` — a retry after the backlog
+        // drains deserves a fresh admission decision.
+        if let Some(limit) = self.config.bulkhead {
+            let in_flight: usize = self
+                .activations
+                .iter()
+                .filter(|(id, _)| id.type_name == invoke.id.type_name)
+                .map(|(_, a)| a.queue.len() + usize::from(a.current.is_some()))
+                .sum();
+            if in_flight >= limit {
+                ctx.metrics().incr("actor.bulkhead_rejected", 1);
+                reply_to(
+                    ctx,
+                    from,
+                    request,
+                    Payload::new(ActorOutcome {
+                        result: Err(format!(
+                            "bulkhead: actor class `{}` at capacity",
+                            invoke.id.type_name
+                        )),
+                    }),
+                );
+                return;
+            }
         }
         if !self.ensure_activation(ctx, &invoke.id) {
             reply_to(

@@ -251,11 +251,16 @@ impl Microservice {
             let Some(inv) = self.active.get_mut(&inv_id) else {
                 return;
             };
-            let endpoint = self
-                .endpoints
-                .get(&inv.endpoint)
-                .expect("endpoint vanished")
-                .clone();
+            // An invocation can outlive its endpoint table entry only
+            // through a harness bug, but a data-tier process must degrade,
+            // not die: answer the caller with an error and count it.
+            let Some(endpoint) = self.endpoints.get(&inv.endpoint).cloned() else {
+                let name = inv.endpoint.clone();
+                ctx.metrics()
+                    .incr(&format!("svc.{}.endpoint_missing", self.name), 1);
+                self.finish(ctx, inv_id, Err(format!("unknown endpoint `{name}`")));
+                return;
+            };
             if inv.step >= endpoint.steps.len() {
                 let inv = self.active.get(&inv_id).expect("present");
                 let results = endpoint

@@ -42,6 +42,9 @@ enum EventKind {
         /// Causal trace context carried across the wire (the network-hop
         /// span, or `None` for untraced/externally injected messages).
         span: Option<SpanId>,
+        /// Request deadline carried across the wire: the receiver's handler
+        /// starts with this as its ambient deadline.
+        deadline: Option<SimTime>,
     },
     Timer {
         pid: ProcessId,
@@ -51,6 +54,9 @@ enum EventKind {
         /// Span current when the timer was armed; keeps retry timers
         /// causally attached to the operation that scheduled them.
         span: Option<SpanId>,
+        /// Deadline current when the timer was armed, so retry/continuation
+        /// timers keep serving the same request budget.
+        deadline: Option<SimTime>,
     },
     CrashNode(NodeId),
     RestartNode(NodeId),
@@ -347,9 +353,10 @@ impl Sim {
                 to,
                 from: ProcessId::EXTERNAL,
                 payload,
-                // Injected messages carry no span: their receive handlers
-                // become the roots of request trees.
+                // Injected messages carry no span or deadline: their
+                // receive handlers become the roots of request trees.
                 span: None,
+                deadline: None,
             },
         );
     }
@@ -453,13 +460,16 @@ impl Sim {
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
             EventKind::Start { pid, generation } => {
-                self.run_handler(pid, Some(generation), None, |proc, ctx| proc.on_start(ctx));
+                self.run_handler(pid, Some(generation), None, None, |proc, ctx| {
+                    proc.on_start(ctx)
+                });
             }
             EventKind::Deliver {
                 to,
                 from,
                 payload,
                 span,
+                deadline,
             } => {
                 let slot = &self.procs[to.0 as usize];
                 if !self.nodes[slot.node.0 as usize].up || slot.state.is_none() {
@@ -478,7 +488,7 @@ impl Sim {
                     .start(SpanKind::Handler, to, span, self.now, || {
                         format!("recv {tag} from {from}")
                     });
-                self.run_handler(to, None, hspan, |proc, ctx| {
+                self.run_handler(to, None, hspan, deadline, |proc, ctx| {
                     proc.on_message(ctx, from, payload)
                 });
                 if let Some(id) = hspan {
@@ -491,6 +501,7 @@ impl Sim {
                 id,
                 tag,
                 span,
+                deadline,
             } => {
                 if self.cancelled_timers.remove(&id) {
                     return;
@@ -506,7 +517,7 @@ impl Sim {
                         }),
                     None => None,
                 };
-                self.run_handler(pid, Some(generation), hspan, |proc, ctx| {
+                self.run_handler(pid, Some(generation), hspan, deadline, |proc, ctx| {
                     proc.on_timer(ctx, tag)
                 });
                 if let Some(sid) = hspan {
@@ -530,11 +541,13 @@ impl Sim {
     ///
     /// `root_span` seeds the handler's span stack, so spans opened and
     /// messages sent inside the handler attach to the incoming context.
+    /// `deadline` seeds the handler's ambient request deadline the same way.
     fn run_handler<F>(
         &mut self,
         pid: ProcessId,
         required_generation: Option<u32>,
         root_span: Option<SpanId>,
+        deadline: Option<SimTime>,
         f: F,
     ) where
         F: FnOnce(&mut Box<dyn Process>, &mut Ctx),
@@ -572,6 +585,7 @@ impl Sim {
                 timer_seq: &mut self.timer_seq,
                 tracer: &mut self.tracer,
                 span_stack: root_span.into_iter().collect(),
+                deadline,
             };
             f(&mut state_box, &mut ctx);
             ctx.effects
@@ -600,12 +614,14 @@ impl Sim {
                     payload,
                     extra_delay,
                     span,
-                } => self.route_send(pid, node, to, payload, extra_delay, span),
+                    deadline,
+                } => self.route_send(pid, node, to, payload, extra_delay, span, deadline),
                 Effect::SetTimer {
                     id,
                     delay,
                     tag,
                     span,
+                    deadline,
                 } => {
                     self.push(
                         self.now + delay,
@@ -615,6 +631,7 @@ impl Sim {
                             id,
                             tag,
                             span,
+                            deadline,
                         },
                     );
                 }
@@ -631,6 +648,7 @@ impl Sim {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn route_send(
         &mut self,
         from: ProcessId,
@@ -639,6 +657,7 @@ impl Sim {
         payload: Payload,
         extra_delay: SimDuration,
         span: Option<SpanId>,
+        deadline: Option<SimTime>,
     ) {
         if to == ProcessId::EXTERNAL {
             // Replies to harness-injected messages leave the simulated
@@ -685,6 +704,7 @@ impl Sim {
                         from,
                         payload,
                         span,
+                        deadline,
                     },
                 );
             }
@@ -701,6 +721,7 @@ impl Sim {
                         from,
                         payload: payload.clone(),
                         span: span_a,
+                        deadline,
                     },
                 );
                 self.push(
@@ -710,6 +731,7 @@ impl Sim {
                         from,
                         payload,
                         span: span_b,
+                        deadline,
                     },
                 );
             }
@@ -982,6 +1004,58 @@ mod tests {
         sim.run_for(SimDuration::from_millis(1));
         assert_eq!(sim.metrics().counter("oneshot.hits"), 1);
         assert!(!sim.is_alive(p));
+    }
+
+    #[test]
+    fn deadline_rides_sends_and_timers_like_span_context() {
+        // A sets a deadline and calls B; B's handler must observe it, and
+        // so must a timer B arms while serving the request and the reply
+        // hop back to A. Injected messages start with no deadline.
+        struct Client {
+            peer: ProcessId,
+        }
+        impl Process for Client {
+            fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, _payload: Payload) {
+                if from == ProcessId::EXTERNAL {
+                    assert_eq!(ctx.deadline(), None, "injected messages carry no deadline");
+                    ctx.set_deadline(Some(SimTime::from_nanos(7_000_000)));
+                    ctx.send(self.peer, Payload::new(1u64));
+                } else {
+                    assert_eq!(
+                        ctx.deadline(),
+                        Some(SimTime::from_nanos(7_000_000)),
+                        "reply edge keeps the request deadline"
+                    );
+                    ctx.metrics().incr("deadline.reply_seen", 1);
+                }
+            }
+        }
+        struct Server;
+        impl Process for Server {
+            fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, _payload: Payload) {
+                assert_eq!(ctx.deadline(), Some(SimTime::from_nanos(7_000_000)));
+                assert!(!ctx.deadline_expired());
+                ctx.send(from, Payload::new(2u64));
+                ctx.set_timer(SimDuration::from_millis(1), 5);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+                assert_eq!(
+                    ctx.deadline(),
+                    Some(SimTime::from_nanos(7_000_000)),
+                    "timers keep the deadline current when they were armed"
+                );
+                ctx.metrics().incr("deadline.timer_seen", 1);
+            }
+        }
+        let mut sim = Sim::with_seed(10);
+        let n0 = sim.add_node();
+        let n1 = sim.add_node();
+        let server = sim.spawn(n1, "server", |_| Box::new(Server));
+        let client = sim.spawn(n0, "client", move |_| Box::new(Client { peer: server }));
+        sim.inject(client, Payload::new(()));
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(sim.metrics().counter("deadline.reply_seen"), 1);
+        assert_eq!(sim.metrics().counter("deadline.timer_seen"), 1);
     }
 
     #[test]

@@ -159,18 +159,24 @@ pub type ProcessFactory = Box<dyn FnMut(&mut Boot) -> Box<dyn Process>>;
 /// `Send` and `SetTimer` carry the span that was current when the effect was
 /// buffered — this is how causal trace context propagates across the wire
 /// and across timer firings. The field is always `None` when tracing is off.
+/// They also carry the request deadline current at buffering time, so the
+/// remaining time budget rides every causal edge the same way span context
+/// does: a handler working on behalf of a deadlined request stamps that
+/// deadline onto everything it sends and every timer it arms.
 pub(crate) enum Effect {
     Send {
         to: ProcessId,
         payload: Payload,
         extra_delay: SimDuration,
         span: Option<SpanId>,
+        deadline: Option<SimTime>,
     },
     SetTimer {
         id: TimerId,
         delay: SimDuration,
         tag: u64,
         span: Option<SpanId>,
+        deadline: Option<SimTime>,
     },
     CancelTimer(TimerId),
     Halt,
@@ -192,6 +198,10 @@ pub struct Ctx<'a> {
     /// stamped onto buffered sends/timers. Stays empty (never allocates)
     /// while tracing is off.
     pub(crate) span_stack: Vec<SpanId>,
+    /// Absolute deadline of the request this handler is working for, seeded
+    /// from the incoming message/timer edge and stamped onto buffered
+    /// sends/timers. `None` = no deadline (the default everywhere).
+    pub(crate) deadline: Option<SimTime>,
 }
 
 impl<'a> Ctx<'a> {
@@ -213,22 +223,26 @@ impl<'a> Ctx<'a> {
     /// Send `payload` to `to` over the simulated network.
     pub fn send(&mut self, to: ProcessId, payload: Payload) {
         let span = self.current_span();
+        let deadline = self.deadline;
         self.effects.push(Effect::Send {
             to,
             payload,
             extra_delay: SimDuration::ZERO,
             span,
+            deadline,
         });
     }
 
     /// Send after holding the message locally for `delay` first.
     pub fn send_after(&mut self, to: ProcessId, payload: Payload, delay: SimDuration) {
         let span = self.current_span();
+        let deadline = self.deadline;
         self.effects.push(Effect::Send {
             to,
             payload,
             extra_delay: delay,
             span,
+            deadline,
         });
     }
 
@@ -237,11 +251,13 @@ impl<'a> Ctx<'a> {
         *self.timer_seq += 1;
         let id = TimerId(*self.timer_seq);
         let span = self.current_span();
+        let deadline = self.deadline;
         self.effects.push(Effect::SetTimer {
             id,
             delay,
             tag,
             span,
+            deadline,
         });
         id
     }
@@ -270,6 +286,44 @@ impl<'a> Ctx<'a> {
     /// The run-wide metrics registry.
     pub fn metrics(&mut self) -> &mut Metrics {
         self.metrics
+    }
+
+    // ----- deadline propagation -------------------------------------------
+    //
+    // A deadline is the absolute virtual time by which the request this
+    // handler serves must complete. It propagates exactly like span context:
+    // seeded from the incoming message/timer edge, stamped onto every
+    // buffered send and timer, and carried by the kernel across the wire.
+    // Since the sim has one global clock, the absolute deadline IS the
+    // remaining budget on the wire — no clock-skew translation is needed.
+
+    /// The deadline of the request currently being served, if any.
+    pub fn deadline(&self) -> Option<SimTime> {
+        self.deadline
+    }
+
+    /// Replace the current deadline, returning the previous one so callers
+    /// can save/restore around work done for a different request. Pass
+    /// `None` to clear. Subsequent sends and timers carry the new value.
+    pub fn set_deadline(&mut self, deadline: Option<SimTime>) -> Option<SimTime> {
+        std::mem::replace(&mut self.deadline, deadline)
+    }
+
+    /// Set the deadline to `budget` from now, returning the previous one.
+    pub fn set_deadline_after(&mut self, budget: SimDuration) -> Option<SimTime> {
+        self.set_deadline(Some(self.now + budget))
+    }
+
+    /// True when a deadline is set and has already passed: the work this
+    /// handler would do can no longer be useful to the requester.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| self.now >= d)
+    }
+
+    /// Time remaining until the deadline (`None` when no deadline is set;
+    /// zero when already expired).
+    pub fn deadline_remaining(&self) -> Option<SimDuration> {
+        self.deadline.map(|d| d.since(self.now))
     }
 
     // ----- causal tracing -------------------------------------------------

@@ -140,6 +140,10 @@ pub enum DbResponse {
     },
     /// Bulk load complete.
     Loaded,
+    /// Admission control rejected the request: the server's queue was too
+    /// deep (or the request could no longer make its deadline). Sent
+    /// immediately, bypassing the service queue — shedding must be cheap.
+    Overloaded,
 }
 
 /// Envelope: response plus the request's correlation token.
@@ -165,6 +169,14 @@ pub struct DbServerConfig {
     /// How many times to retry a conflicted stored procedure before
     /// giving up with `Aborted`.
     pub call_max_retries: u32,
+    /// Admission control: reject new requests whose expected queue wait
+    /// (time until the server frees up) exceeds this bound, answering
+    /// [`DbResponse::Overloaded`] immediately instead of queueing.
+    /// `None` (the default) admits everything — the legacy behaviour.
+    /// Independently of this knob, requests arriving with an already
+    /// expired deadline, or a deadline the expected wait makes unmeetable,
+    /// are dropped/shed: serving them is guaranteed-wasted capacity.
+    pub max_queue_wait: Option<SimDuration>,
     /// Engine tuning.
     pub engine: EngineConfig,
 }
@@ -177,6 +189,7 @@ impl Default for DbServerConfig {
             commit_latency: SimDuration::from_micros(100),
             call_retry_delay: SimDuration::from_micros(200),
             call_max_retries: 32,
+            max_queue_wait: None,
             engine: EngineConfig::default(),
         }
     }
@@ -313,6 +326,70 @@ impl DbServer {
         }
         ctx.trace_exit(addr.span);
         ctx.trace_span_end(addr.span);
+    }
+
+    /// Answer `Overloaded` immediately, bypassing the service queue:
+    /// rejections must cost ~nothing or shedding cannot relieve overload.
+    fn shed_reply(&mut self, ctx: &mut Ctx, addr: ReturnAddr) {
+        let resp = DbResponse::Overloaded;
+        if let Some(call_id) = addr.rpc_call {
+            // Overwrite the just-inserted `None` dedup entry so duplicate
+            // retries replay the rejection instead of waiting forever.
+            self.dedup
+                .insert((addr.client, call_id), Some(resp.clone()));
+            let inner = Payload::new(DbReply {
+                token: addr.token,
+                resp,
+            });
+            ctx.send(
+                addr.client,
+                Payload::new(RpcReply {
+                    call_id,
+                    body: inner,
+                }),
+            );
+        } else {
+            ctx.send(
+                addr.client,
+                Payload::new(DbReply {
+                    token: addr.token,
+                    resp,
+                }),
+            );
+        }
+    }
+
+    /// Admission control. Returns `true` when the request was shed (or
+    /// silently dropped) and must not execute.
+    fn admission_shed(&mut self, ctx: &mut Ctx, addr: ReturnAddr) -> bool {
+        let wait = self.busy_until.since(ctx.now());
+        // Already-expired work is dropped without even a rejection: the
+        // requester's deadline has passed, so any reply is wasted wire.
+        if ctx.deadline_expired() {
+            ctx.metrics().incr("server.expired", 1);
+            ctx.metrics().incr(&format!("{}.expired", self.name), 1);
+            ctx.trace_event(|| "dropped: deadline expired on arrival".into());
+            // Leave no executing marker behind; a duplicate should be
+            // re-evaluated (the queue may have drained by then).
+            if let Some(call_id) = addr.rpc_call {
+                self.dedup.remove(&(addr.client, call_id));
+            }
+            return true;
+        }
+        // Expected-wait shedding: against the configured queue bound, and
+        // against the request's own deadline when it carries one.
+        let over_queue = self.config.max_queue_wait.is_some_and(|max| wait > max);
+        let misses_deadline = ctx
+            .deadline_remaining()
+            .is_some_and(|remaining| wait > remaining);
+        if over_queue || misses_deadline {
+            ctx.metrics().incr("server.shed", 1);
+            ctx.metrics().incr(&format!("{}.shed", self.name), 1);
+            ctx.trace_event(|| format!("shed: expected wait {}ns", wait.as_nanos()));
+            self.shed_reply(ctx, addr);
+            return true;
+        }
+        false
     }
 
     fn deliver_resumptions(&mut self, ctx: &mut Ctx, resumed: Vec<crate::engine::Resumption>) {
@@ -472,6 +549,9 @@ impl Process for DbServer {
             rpc_call,
             span: None,
         };
+        if self.admission_shed(ctx, addr) {
+            return;
+        }
         match msg.req.clone() {
             DbRequest::Begin { iso } => {
                 let tx = self.engine.begin(iso);
@@ -625,6 +705,7 @@ mod tests {
             match &reply.resp {
                 DbResponse::CallOk { .. } => ctx.metrics().incr("client.call_ok", 1),
                 DbResponse::CallFailed { .. } => ctx.metrics().incr("client.call_failed", 1),
+                DbResponse::Overloaded => ctx.metrics().incr("client.overloaded", 1),
                 DbResponse::Loaded => ctx.metrics().incr("client.loaded", 1),
                 DbResponse::PeekOk {
                     value: Some(Value::Int(v)),
@@ -665,6 +746,41 @@ mod tests {
         sim.run_for(SimDuration::from_millis(10));
         assert_eq!(sim.metrics().counter("client.call_ok"), 1);
         assert_eq!(sim.metrics().counter("db.calls_ok"), 1);
+    }
+
+    #[test]
+    fn queue_bound_sheds_excess_load_immediately() {
+        let mut sim = Sim::with_seed(21);
+        let n0 = sim.add_node();
+        let n1 = sim.add_node();
+        let config = DbServerConfig {
+            // Admit at most two service times of queue (100µs commits).
+            max_queue_wait: Some(SimDuration::from_micros(200)),
+            ..DbServerConfig::default()
+        };
+        let _ = n1;
+        let db = sim.spawn(n0, "db", DbServer::factory("db", config, bump_registry()));
+        // A burst of 10 simultaneous calls: waits 0,100,…,900µs. Only the
+        // first three (wait ≤ 200µs) are admitted; the rest shed at once.
+        for _ in 0..10 {
+            sim.inject(
+                db,
+                Payload::new(DbMsg {
+                    token: 1,
+                    req: DbRequest::Call {
+                        proc: "bump".into(),
+                        args: vec![Value::from("x")],
+                    },
+                }),
+            );
+        }
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(sim.metrics().counter("server.shed"), 7);
+        assert_eq!(
+            sim.metrics().counter("db.calls_ok"),
+            3,
+            "shed work never ran"
+        );
     }
 
     #[test]

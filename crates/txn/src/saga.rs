@@ -225,11 +225,22 @@ impl SagaOrchestrator {
                 let Some(instance) = self.instances.get_mut(&id) else {
                     return;
                 };
-                let def = self
-                    .defs
-                    .get(&instance.entry.saga)
-                    .expect("saga def vanished")
-                    .clone();
+                // A journaled instance can name a saga this incarnation no
+                // longer defines (e.g. a deployment shrank the def set
+                // before recovery). The orchestrator must degrade, not
+                // panic: fail the instance back to its caller and count it.
+                let def = match self.defs.get(&instance.entry.saga) {
+                    Some(def) => def.clone(),
+                    None => {
+                        ctx.metrics().incr("saga.def_missing", 1);
+                        instance.entry.failure = Some(format!(
+                            "unknown saga `{}` at recovery",
+                            instance.entry.saga
+                        ));
+                        self.finish(ctx, id, false);
+                        return;
+                    }
+                };
                 match instance.entry.phase {
                     Phase::Forward => {
                         if instance.entry.cursor >= def.steps.len() {
@@ -423,6 +434,22 @@ impl Process for SagaOrchestrator {
         let Some(start) = request.body.downcast_ref::<StartSaga>() else {
             return;
         };
+        if ctx.deadline_expired() {
+            // Starting a saga after the caller's deadline has lapsed
+            // burns forward steps that will immediately need
+            // compensation. Refuse before touching any participant.
+            ctx.metrics().incr("saga.deadline_rejected", 1);
+            reply_to(
+                ctx,
+                from,
+                request,
+                Payload::new(SagaOutcome {
+                    committed: false,
+                    error: Some("deadline expired before start".into()),
+                }),
+            );
+            return;
+        }
         if !self.defs.contains_key(&start.saga) {
             reply_to(
                 ctx,
@@ -702,6 +729,76 @@ mod tests {
         sim.run_for(SimDuration::from_millis(200));
         assert_eq!(sim.metrics().counter("client.compensated"), 1);
         assert_eq!(sim.metrics().counter("saga.compensations"), 0);
+    }
+
+    #[test]
+    fn missing_def_after_recovery_fails_instance_instead_of_panicking() {
+        // The orchestrator restarts with a SHRUNK def set (a deployment
+        // removed the saga between crash and recovery). Journaled
+        // instances of the missing saga must fail gracefully — counted,
+        // terminal, no panic.
+        let mut sim = Sim::with_seed(101);
+        let n1 = sim.add_node();
+        let n2 = sim.add_node();
+        let n3 = sim.add_node();
+        let stock_db = sim.spawn(
+            n1,
+            "stock-db",
+            DbServer::factory("stock", DbServerConfig::default(), stock_registry()),
+        );
+        let pay_db = sim.spawn(
+            n2,
+            "pay-db",
+            DbServer::factory("pay", DbServerConfig::default(), payment_registry()),
+        );
+        sim.inject(
+            stock_db,
+            Payload::new(DbMsg {
+                token: 0,
+                req: DbRequest::Call {
+                    proc: "seed".into(),
+                    args: vec![Value::from("item1"), Value::Int(50)],
+                },
+            }),
+        );
+        sim.inject(
+            pay_db,
+            Payload::new(DbMsg {
+                token: 0,
+                req: DbRequest::Call {
+                    proc: "seed".into(),
+                    args: vec![Value::from("alice"), Value::Int(1000)],
+                },
+            }),
+        );
+        let mut full = SagaOrchestrator::factory(vec![checkout_saga(stock_db, pay_db)]);
+        let mut empty = SagaOrchestrator::factory(vec![]);
+        let orchestrator = sim.spawn(n3, "saga", move |boot| {
+            if boot.restart {
+                empty(boot)
+            } else {
+                full(boot)
+            }
+        });
+        let nc = sim.add_node();
+        sim.spawn(nc, "client", move |_| {
+            Box::new(Client {
+                orchestrator,
+                plan: (0..5).map(|_| checkout(("item1", "alice", 10))).collect(),
+                rpc: RpcClient::new(),
+            })
+        });
+        sim.schedule_crash(tca_sim::SimTime::from_nanos(1_000_000), n3);
+        sim.schedule_restart(tca_sim::SimTime::from_nanos(10_000_000), n3);
+        sim.run_for(SimDuration::from_millis(500));
+        assert!(
+            sim.metrics().counter("saga.def_missing") >= 1,
+            "resumed instances of the removed saga fail gracefully"
+        );
+        let orch = sim
+            .inspect::<SagaOrchestrator>(orchestrator)
+            .expect("orchestrator alive");
+        assert_eq!(orch.open_instances(), 0, "no instance left stuck");
     }
 
     #[test]

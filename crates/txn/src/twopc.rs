@@ -658,6 +658,22 @@ impl Process for TwoPcCoordinator {
             let Some(start) = request.body.downcast_ref::<StartDtx>() else {
                 return;
             };
+            if ctx.deadline_expired() {
+                // The caller's budget is already gone; starting a
+                // distributed transaction now only produces work whose
+                // result nobody will wait for. Reject up front.
+                ctx.metrics().incr("dtx.deadline_rejected", 1);
+                reply_to(
+                    ctx,
+                    from,
+                    request,
+                    Payload::new(DtxOutcome {
+                        committed: false,
+                        error: Some("deadline expired before start".into()),
+                    }),
+                );
+                return;
+            }
             self.next_txid += 1;
             let txid = self.next_txid;
             let participants: HashSet<ProcessId> =

@@ -10,6 +10,8 @@
 //! - [`rmw`] — interactive read-modify-write clients exposing isolation
 //!   anomalies (over-selling).
 //! - [`loadgen`] — closed-loop vs. open-loop (Poisson) generators.
+//! - [`overload`] — phased open-loop overload driver with deadlines,
+//!   retry budgets, and circuit breakers (experiment E17).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -17,6 +19,7 @@
 pub mod hotel;
 pub mod loadgen;
 pub mod marketplace;
+pub mod overload;
 pub mod rmw;
 pub mod tpcc;
 pub mod ycsb;
@@ -25,4 +28,5 @@ pub use loadgen::{
     db_classifier, ClosedLoopConfig, ClosedLoopGen, OpenLoopConfig, OpenLoopGen, RequestFactory,
     ResponseClassifier,
 };
+pub use overload::{OverloadConfig, OverloadGen, OverloadPhase};
 pub use rmw::{RmwClient, RmwConfig};

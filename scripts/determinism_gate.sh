@@ -9,6 +9,12 @@
 # recording spans shifts a single metric, the tracer has perturbed the
 # schedule or the RNG stream.
 #
+# The resilience experiment (E17) is additionally gated on its own: it is
+# the only workload exercising seeded retry jitter, retry budgets,
+# circuit breakers, and admission control, and its output embeds the
+# rpc.shed / breaker.open / retry.budget_exhausted / server.shed
+# counters — two runs must agree on every one of them byte-for-byte.
+#
 # Usage: scripts/determinism_gate.sh [seed]
 set -eu
 
@@ -16,7 +22,9 @@ SEED="${1:-42}"
 OUT_A="$(mktemp)"
 OUT_B="$(mktemp)"
 OUT_T="$(mktemp)"
-trap 'rm -f "$OUT_A" "$OUT_B" "$OUT_T"' EXIT
+OUT_R1="$(mktemp)"
+OUT_R2="$(mktemp)"
+trap 'rm -f "$OUT_A" "$OUT_B" "$OUT_T" "$OUT_R1" "$OUT_R2"' EXIT
 
 export CARGO_NET_OFFLINE=true
 cargo build -q -p tca-bench --bin experiments --release --offline
@@ -38,5 +46,20 @@ if cmp -s "$OUT_A" "$OUT_T"; then
 else
     echo "TRACE-DETERMINISM-FAIL: tracing perturbed the seed=$SEED run" >&2
     diff "$OUT_A" "$OUT_T" >&2 || true
+    exit 1
+fi
+
+# Resilience-enabled pair: jittered retries, budgets, breakers, and
+# admission control must be exactly as reproducible as everything else
+# (a different seed widens coverage beyond the main pair's seed).
+RSEED=$((SEED + 7))
+./target/release/experiments --seed "$RSEED" e17 >"$OUT_R1"
+./target/release/experiments --seed "$RSEED" e17 >"$OUT_R2"
+
+if cmp -s "$OUT_R1" "$OUT_R2"; then
+    echo "RESILIENCE-DETERMINISM-OK: two seed=$RSEED E17 runs are byte-identical ($(wc -c <"$OUT_R1") bytes)"
+else
+    echo "RESILIENCE-DETERMINISM-FAIL: resilience stack diverged (seed=$RSEED)" >&2
+    diff "$OUT_R1" "$OUT_R2" >&2 || true
     exit 1
 fi

@@ -5,14 +5,19 @@
 
 use std::rc::Rc;
 
+use tca::messaging::rpc::{BreakerConfig, RetryBudget, RetryPolicy};
 use tca::messaging::{delivery_torture_scenario, DedupReceiver, DeliveryGuarantee, ReliableSender};
 use tca::sim::{
-    torture, torture_plan, Ctx, FaultProfile, NetworkConfig, Payload, Process, ProcessId, Sim,
-    SimConfig, SimDuration, SimTime, TortureConfig,
+    torture, torture_plan, Ctx, FaultPlan, FaultProfile, NetworkConfig, Payload, Process,
+    ProcessId, Sim, SimConfig, SimDuration, SimTime, TortureConfig,
 };
 use tca::storage::{DbMsg, DbRequest, DbServer, DbServerConfig, ProcRegistry, Value};
 use tca::txn::{actor_torture_scenario, saga_torture_scenario};
 use tca::workloads::loadgen::{db_classifier, ClosedLoopConfig, ClosedLoopGen};
+use tca::workloads::marketplace::{
+    count_oversold, next_checkout, payment_seed, single_registry, stock_seed, MarketScale,
+};
+use tca::workloads::{OverloadConfig, OverloadGen, OverloadPhase};
 
 struct Producer {
     dest: ProcessId,
@@ -193,6 +198,154 @@ fn actor_torture_sweep() {
     };
     let config = TortureConfig::from_env(6, 3, profile);
     torture("actor-txn", &config, actor_torture_scenario);
+}
+
+/// Overload × partition: a marketplace checkout database driven at 2×
+/// capacity by the full resilience stack (propagated 20ms deadlines,
+/// jittered budgeted retries, circuit breaker, server admission control)
+/// while the sweep's random faults run — plus a deterministic partition
+/// window placed *after* the plan's horizon so every (seed, plan) pair
+/// exercises breaker open → shed → half-open → recovery. The audit
+/// checks the transactional invariants survived the storm: no
+/// over-selling, money conserved against order records, and no checkout
+/// applied more times than it was issued (exactly-once under retries and
+/// network duplication).
+fn overload_partition_scenario(seed: u64, plan: &FaultPlan) -> Result<(), String> {
+    let scale = MarketScale::default();
+    let mut sim = Sim::with_seed(seed);
+    let n_db = sim.add_node();
+    let n_load = sim.add_node();
+    let db = sim.spawn(
+        n_db,
+        "db",
+        DbServer::factory(
+            "db",
+            DbServerConfig {
+                // 1ms commits ⇒ capacity ≈ 1k checkouts/s.
+                commit_latency: SimDuration::from_millis(1),
+                max_queue_wait: Some(SimDuration::from_millis(10)),
+                ..DbServerConfig::default()
+            },
+            single_registry(),
+        ),
+    );
+    let pairs: Vec<_> = stock_seed(&scale)
+        .into_iter()
+        .chain(payment_seed(&scale))
+        .collect();
+    sim.inject(
+        db,
+        Payload::new(DbMsg {
+            token: 0,
+            req: DbRequest::Load { pairs },
+        }),
+    );
+    let req_scale = scale.clone();
+    sim.spawn(
+        n_load,
+        "load",
+        OverloadGen::factory(
+            db,
+            Rc::new(move |rng| {
+                Payload::new(DbMsg {
+                    token: 0,
+                    req: DbRequest::Call {
+                        proc: "checkout".into(),
+                        args: next_checkout(rng, &req_scale, 0.2),
+                    },
+                })
+            }),
+            db_classifier(),
+            OverloadConfig {
+                phases: vec![
+                    // 2× capacity across the plan's faults and the
+                    // deterministic partition …
+                    OverloadPhase::new(
+                        SimDuration::from_millis(450),
+                        SimDuration::from_micros(500),
+                    ),
+                    OverloadPhase::new(
+                        SimDuration::from_millis(100),
+                        SimDuration::from_micros(500),
+                    ),
+                    // … then 0.5× after the heal: the recovery window.
+                    OverloadPhase::new(SimDuration::from_millis(250), SimDuration::from_millis(2)),
+                ],
+                metric: "op".into(),
+                deadline: Some(SimDuration::from_millis(20)),
+                propagate_deadline: true,
+                retry: RetryPolicy::retrying(2, SimDuration::from_millis(15)).with_jitter(0.5),
+                budget: Some(RetryBudget::default()),
+                breaker: Some(BreakerConfig::default()),
+            },
+        ),
+    );
+    // The sweep's ambient loss/duplication and random partition windows
+    // (no crashes: durable-state recovery is the other sweeps' job).
+    plan.apply(&mut sim, &[], &[n_db, n_load]);
+    // Deterministic partition after the plan horizon (400ms): a plan Heal
+    // heals *everything*, so the window must not overlap plan events.
+    sim.schedule_partition(SimTime::from_nanos(450_000_000), vec![n_load], vec![n_db]);
+    sim.schedule_heal(SimTime::from_nanos(550_000_000));
+    sim.run_for(SimDuration::from_millis(1300));
+
+    let m = sim.metrics();
+    let fail = |what: String| -> Result<(), String> { Err(what) };
+    if m.counter("breaker.open") == 0 {
+        return fail("breaker never opened during the partition".into());
+    }
+    if m.counter("breaker.half_open") == 0 {
+        return fail("breaker never probed after the heal".into());
+    }
+    if m.counter("rpc.shed") == 0 {
+        return fail("open breaker shed no calls".into());
+    }
+    let recovered = m.counter("op.phase2.goodput");
+    if recovered == 0 {
+        return fail("no goodput after the heal — the stack did not recover".into());
+    }
+    // Transactional audit over the quiesced database.
+    let peek = |key: &str| {
+        sim.inspect::<DbServer>(db)
+            .and_then(|s| s.engine().peek(key))
+    };
+    let oversold = count_oversold(peek, &scale);
+    if oversold != 0 {
+        return fail(format!("{oversold} units oversold"));
+    }
+    let spent: i64 = (0..scale.customers)
+        .map(|c| {
+            scale.initial_balance
+                - peek(&format!("balance/{c}"))
+                    .map(|v| v.as_int())
+                    .unwrap_or(scale.initial_balance)
+        })
+        .sum();
+    let orders = peek("order_seq").map(|v| v.as_int()).unwrap_or(0);
+    let order_value: i64 = (1..=orders)
+        .map(|o| match peek(&format!("order/{o}")) {
+            Some(Value::List(fields)) => fields.get(1).map(|v| v.as_int()).unwrap_or(0),
+            _ => 0,
+        })
+        .sum();
+    if spent != order_value {
+        return fail(format!(
+            "money not conserved: balances dropped {spent} but orders record {order_value}"
+        ));
+    }
+    let issued = m.counter("op.issued");
+    if (orders as u64) > issued {
+        return fail(format!(
+            "exactly-once violated: {orders} checkouts applied from {issued} issued"
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn overload_partition_torture_sweep() {
+    let config = TortureConfig::from_env(6, 3, FaultProfile::default());
+    torture("overload-partition", &config, overload_partition_scenario);
 }
 
 // ---------------------------------------------------------------------------
