@@ -8,7 +8,13 @@
 //! cargo run -p tca-bench --bin bench --release -- --quick        # CI smoke
 //! cargo run -p tca-bench --bin bench --release -- --json BENCH_local.json
 //! cargo run -p tca-bench --bin bench --release -- --trace-out trace.json
+//! cargo run -p tca-bench --bin bench --release -- --kernel --json out.json
 //! ```
+//!
+//! `--kernel` runs only the kernel events/sec cells (see
+//! `tca_bench::kernel_bench`); add `--baseline BENCH_1.json` to fail
+//! (exit 1) on regression against a committed baseline — exact `==` on
+//! events/sim_ns, `--wall-slack FACTOR` (default 4.0) on wall-clock.
 //!
 //! `--trace-out PATH` runs one traced saga cell (seed 42) and writes the
 //! recorded span tree as Chrome-trace JSON — open it at
@@ -243,16 +249,47 @@ fn main() {
         bench = bench.samples(samples);
     }
 
-    bench_cells(&mut bench);
-    bench_contention(&mut bench);
-    bench_engine_commits(&mut bench);
-    bench_tpcc_procs(&mut bench);
-    bench_ycsb(&mut bench);
-    bench_mvcc(&mut bench);
-    bench_zipf(&mut bench);
+    let kernel_only = args.iter().any(|a| a == "--kernel");
+    if kernel_only {
+        tca_bench::kernel_bench::run_kernel_suite(&mut bench);
+    } else {
+        bench_cells(&mut bench);
+        bench_contention(&mut bench);
+        bench_engine_commits(&mut bench);
+        bench_tpcc_procs(&mut bench);
+        bench_ycsb(&mut bench);
+        bench_mvcc(&mut bench);
+        bench_zipf(&mut bench);
+    }
 
     if let Some(path) = flag_value("--json") {
         bench.write_json(&path).expect("write JSON lines");
         println!("wrote {} JSON line(s) to {path}", bench.reports().len());
+    }
+
+    if let Some(baseline_path) = flag_value("--baseline") {
+        let wall_slack = flag_value("--wall-slack")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4.0);
+        let text = std::fs::read_to_string(&baseline_path).expect("read baseline");
+        let baseline = tca_bench::kernel_bench::parse_baseline(&text);
+        assert!(
+            !baseline.is_empty(),
+            "no kernel cells in baseline {baseline_path}"
+        );
+        let violations =
+            tca_bench::kernel_bench::compare_reports(bench.reports(), &baseline, wall_slack);
+        if violations.is_empty() {
+            println!(
+                "baseline check OK: {} cell(s) vs {baseline_path} (wall slack {wall_slack}x)",
+                baseline.len()
+            );
+        } else {
+            eprintln!("baseline check FAILED vs {baseline_path}:");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
     }
 }

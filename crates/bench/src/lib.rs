@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod kernel_bench;
 
 pub use experiments::{print_table, Row};
 pub use harness::{Bench, Report};

@@ -13,22 +13,18 @@
 //! time — exactly the partial-failure model the paper's §4.1 discusses.
 
 use crate::detmap::DetHashSet as HashSet;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
-use crate::metrics::Metrics;
+use crate::metrics::{FastCounter, Metrics};
 use crate::network::{Fate, Network, NetworkConfig};
 use crate::payload::Payload;
-use crate::proc::{Boot, Ctx, Disk, Effect, NodeId, Process, ProcessFactory, ProcessId, TimerId};
+use crate::proc::{
+    Boot, Ctx, DeadlineWord, Disk, Effect, NodeId, Process, ProcessFactory, ProcessId, SpanWord,
+    TimerId,
+};
+use crate::queue::{EventKey, EventQueue};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{SpanId, SpanKind, Tracer};
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct EventKey {
-    time: SimTime,
-    seq: u64,
-}
 
 enum EventKind {
     Start {
@@ -40,11 +36,11 @@ enum EventKind {
         from: ProcessId,
         payload: Payload,
         /// Causal trace context carried across the wire (the network-hop
-        /// span, or `None` for untraced/externally injected messages).
-        span: Option<SpanId>,
+        /// span, or `NONE` for untraced/externally injected messages).
+        span: SpanWord,
         /// Request deadline carried across the wire: the receiver's handler
         /// starts with this as its ambient deadline.
-        deadline: Option<SimTime>,
+        deadline: DeadlineWord,
     },
     Timer {
         pid: ProcessId,
@@ -53,39 +49,41 @@ enum EventKind {
         tag: u64,
         /// Span current when the timer was armed; keeps retry timers
         /// causally attached to the operation that scheduled them.
-        span: Option<SpanId>,
+        span: SpanWord,
         /// Deadline current when the timer was armed, so retry/continuation
         /// timers keep serving the same request budget.
-        deadline: Option<SimTime>,
+        deadline: DeadlineWord,
     },
     CrashNode(NodeId),
     RestartNode(NodeId),
-    Partition {
-        left: Vec<NodeId>,
-        right: Vec<NodeId>,
-    },
+    /// Boxed: partitions are rare control events, and inlining two `Vec`s
+    /// here would widen every queued event the kernel copies around.
+    Partition(Box<(Vec<NodeId>, Vec<NodeId>)>),
     HealPartitions,
 }
 
-struct Event {
-    key: EventKey,
-    kind: EventKind,
+/// Handles to the per-event counters the kernel bumps on its hot path,
+/// pre-registered so each bump is an indexed add instead of a string
+/// map lookup (reads still merge exactly; see [`Metrics::incr_fast`]).
+struct FastCounters {
+    delivered: FastCounter,
+    sent: FastCounter,
+    dropped: FastCounter,
+    duplicated: FastCounter,
+    to_external: FastCounter,
+    dropped_dead_target: FastCounter,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
+impl FastCounters {
+    fn register(metrics: &mut Metrics) -> Self {
+        FastCounters {
+            delivered: metrics.register_fast("net.delivered"),
+            sent: metrics.register_fast("net.sent"),
+            dropped: metrics.register_fast("net.dropped"),
+            duplicated: metrics.register_fast("net.duplicated"),
+            to_external: metrics.register_fast("net.to_external"),
+            dropped_dead_target: metrics.register_fast("net.dropped_dead_target"),
+        }
     }
 }
 
@@ -127,16 +125,25 @@ impl SimConfig {
 pub struct Sim {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: EventQueue<EventKind>,
     nodes: Vec<NodeState>,
     procs: Vec<ProcSlot>,
     rng: SimRng,
     metrics: Metrics,
+    fast: FastCounters,
     network: Network,
     cancelled_timers: HashSet<TimerId>,
     timer_seq: u64,
     tracer: Tracer,
     events_processed: u64,
+    /// Reusable effect buffer for [`Sim::run_handler`] (handlers never
+    /// nest, so one scratch vector serves every dispatch).
+    effects_scratch: Vec<Effect>,
+    /// Reusable span-stack buffer for [`Sim::run_handler`], same idea:
+    /// its capacity survives round-trips through `Ctx`, so traced runs
+    /// stop allocating a stack per dispatch and untraced runs never
+    /// allocate one at all.
+    span_scratch: Vec<SpanId>,
 }
 
 impl Sim {
@@ -150,19 +157,24 @@ impl Sim {
         if std::env::var_os("TCA_TRACE").is_some_and(|v| v != "0") {
             tracer.set_enabled(true);
         }
+        let mut metrics = Metrics::new();
+        let fast = FastCounters::register(&mut metrics);
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             nodes: Vec::new(),
             procs: Vec::new(),
             rng: SimRng::new(config.seed),
-            metrics: Metrics::new(),
+            metrics,
+            fast,
             network: Network::new(config.network),
             cancelled_timers: HashSet::default(),
             timer_seq: 0,
             tracer,
             events_processed: 0,
+            effects_scratch: Vec::new(),
+            span_scratch: Vec::new(),
         }
     }
 
@@ -254,20 +266,20 @@ impl Sim {
 
     /// Process a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some((key, kind)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.key.time >= self.now, "time went backwards");
-        self.now = ev.key.time;
+        debug_assert!(key.time >= self.now, "time went backwards");
+        self.now = key.time;
         self.events_processed += 1;
-        self.dispatch(ev.kind);
+        self.dispatch(kind);
         true
     }
 
     /// Run until the queue is empty or virtual time would exceed `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.key.time > t {
+        while let Some(key) = self.queue.peek_key() {
+            if key.time > t {
                 break;
             }
             self.step();
@@ -319,7 +331,7 @@ impl Sim {
 
     /// Schedule a network partition between two node groups at time `t`.
     pub fn schedule_partition(&mut self, t: SimTime, left: Vec<NodeId>, right: Vec<NodeId>) {
-        self.push(t, EventKind::Partition { left, right });
+        self.push(t, EventKind::Partition(Box::new((left, right))));
     }
 
     /// Schedule healing of all partitions at time `t`.
@@ -355,8 +367,8 @@ impl Sim {
                 payload,
                 // Injected messages carry no span or deadline: their
                 // receive handlers become the roots of request trees.
-                span: None,
-                deadline: None,
+                span: SpanWord::NONE,
+                deadline: DeadlineWord::NONE,
             },
         );
     }
@@ -448,13 +460,13 @@ impl Sim {
 
     fn push(&mut self, time: SimTime, kind: EventKind) {
         self.seq += 1;
-        self.queue.push(Reverse(Event {
-            key: EventKey {
+        self.queue.push(
+            EventKey {
                 time,
                 seq: self.seq,
             },
             kind,
-        }));
+        );
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -471,14 +483,16 @@ impl Sim {
                 span,
                 deadline,
             } => {
+                let span = span.get();
+                let deadline = deadline.get();
                 let slot = &self.procs[to.0 as usize];
                 if !self.nodes[slot.node.0 as usize].up || slot.state.is_none() {
-                    self.metrics.incr("net.dropped_dead_target", 1);
+                    self.metrics.incr_fast(self.fast.dropped_dead_target, 1);
                     self.tracer
                         .event(self.now, to, span, || "dropped: dead target".into());
                     return;
                 }
-                self.metrics.incr("net.delivered", 1);
+                self.metrics.incr_fast(self.fast.delivered, 1);
                 // Every delivery runs inside a handler span parented under
                 // the context carried on the wire; externally injected
                 // messages (span == None) start new request trees here.
@@ -503,9 +517,13 @@ impl Sim {
                 span,
                 deadline,
             } => {
-                if self.cancelled_timers.remove(&id) {
+                // The emptiness guard keeps runs that never cancel (the
+                // common case) off the hash path entirely.
+                if !self.cancelled_timers.is_empty() && self.cancelled_timers.remove(&id) {
                     return;
                 }
+                let span = span.get();
+                let deadline = deadline.get();
                 // Only timers armed inside a span get a handler span of
                 // their own: retry timers stay attached to their request
                 // tree while periodic background sweeps stay untraced.
@@ -526,8 +544,8 @@ impl Sim {
             }
             EventKind::CrashNode(node) => self.apply_crash(node),
             EventKind::RestartNode(node) => self.apply_restart(node),
-            EventKind::Partition { left, right } => {
-                self.network.partition(&left, &right);
+            EventKind::Partition(sides) => {
+                self.network.partition(&sides.0, &sides.1);
             }
             EventKind::HealPartitions => self.network.heal_all(),
         }
@@ -564,40 +582,45 @@ impl Sim {
                 return;
             }
         }
-        let (mut state, mut disk, node) = {
-            let slot = &mut self.procs[idx];
-            let Some(state) = slot.state.take() else {
-                return;
-            };
-            slot.started = true;
-            (state, std::mem::take(&mut slot.disk), slot.node)
+        // The slot borrow (state box moved out, disk borrowed in place)
+        // coexists with the borrows of `rng`/`metrics`/`tracer` below
+        // because they are disjoint fields of `self`.
+        let slot = &mut self.procs[idx];
+        let Some(mut state) = slot.state.take() else {
+            return;
         };
-        let mut state_box = state;
-        let effects = {
+        slot.started = true;
+        let node = slot.node;
+        let mut span_stack = std::mem::take(&mut self.span_scratch);
+        if let Some(root) = root_span {
+            span_stack.push(root);
+        }
+        let (mut effects, mut span_stack) = {
             let mut ctx = Ctx {
                 now: self.now,
                 pid,
                 node,
                 rng: &mut self.rng,
-                disk: &mut disk,
+                disk: &mut slot.disk,
                 metrics: &mut self.metrics,
-                effects: Vec::new(),
+                effects: std::mem::take(&mut self.effects_scratch),
                 timer_seq: &mut self.timer_seq,
                 tracer: &mut self.tracer,
-                span_stack: root_span.into_iter().collect(),
+                span_stack,
                 deadline,
             };
-            f(&mut state_box, &mut ctx);
-            ctx.effects
+            f(&mut state, &mut ctx);
+            (ctx.effects, ctx.span_stack)
         };
-        state = state_box;
+        span_stack.clear();
+        self.span_scratch = span_stack;
         let slot = &mut self.procs[idx];
-        slot.disk = disk;
         if slot.generation == required_generation.unwrap_or(slot.generation) {
             slot.state = Some(state);
         }
         let generation = slot.generation;
-        self.apply_effects(pid, node, generation, effects);
+        self.apply_effects(pid, node, generation, &mut effects);
+        self.effects_scratch = effects;
     }
 
     fn apply_effects(
@@ -605,9 +628,9 @@ impl Sim {
         pid: ProcessId,
         node: NodeId,
         generation: u32,
-        effects: Vec<Effect>,
+        effects: &mut Vec<Effect>,
     ) {
-        for effect in effects {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send {
                     to,
@@ -656,13 +679,14 @@ impl Sim {
         to: ProcessId,
         payload: Payload,
         extra_delay: SimDuration,
-        span: Option<SpanId>,
-        deadline: Option<SimTime>,
+        span: SpanWord,
+        deadline: DeadlineWord,
     ) {
+        let span = span.get();
         if to == ProcessId::EXTERNAL {
             // Replies to harness-injected messages leave the simulated
             // world; swallow them (the harness reads metrics instead).
-            self.metrics.incr("net.to_external", 1);
+            self.metrics.incr_fast(self.fast.to_external, 1);
             self.tracer
                 .event(self.now, from, span, || "reply to external".into());
             return;
@@ -672,7 +696,7 @@ impl Sim {
             "send to unknown process {to}"
         );
         let dst_node = self.procs[to.0 as usize].node;
-        self.metrics.incr("net.sent", 1);
+        self.metrics.incr_fast(self.fast.sent, 1);
         // The hop's extent is decided here (the network rolls the latency
         // up front), so the hop span is recorded closed and its id rides
         // on the Deliver event to parent the receive handler.
@@ -690,13 +714,13 @@ impl Sim {
         };
         match self.network.route(&mut self.rng, src_node, dst_node) {
             Fate::Drop => {
-                self.metrics.incr("net.dropped", 1);
+                self.metrics.incr_fast(self.fast.dropped, 1);
                 self.tracer
                     .event(self.now, from, span, || format!("dropped send to {to}"));
             }
             Fate::Deliver(lat) => {
                 let at = self.now + extra_delay + lat;
-                let span = hop(self, at);
+                let span = SpanWord::pack(hop(self, at));
                 self.push(
                     at,
                     EventKind::Deliver {
@@ -709,11 +733,11 @@ impl Sim {
                 );
             }
             Fate::Duplicate(a, b) => {
-                self.metrics.incr("net.duplicated", 1);
+                self.metrics.incr_fast(self.fast.duplicated, 1);
                 let at_a = self.now + extra_delay + a;
                 let at_b = self.now + extra_delay + b;
-                let span_a = hop(self, at_a);
-                let span_b = hop(self, at_b);
+                let span_a = SpanWord::pack(hop(self, at_a));
+                let span_b = SpanWord::pack(hop(self, at_b));
                 self.push(
                     at_a,
                     EventKind::Deliver {

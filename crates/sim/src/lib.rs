@@ -40,6 +40,7 @@ pub mod metrics;
 pub mod network;
 pub mod payload;
 pub mod proc;
+pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
@@ -49,10 +50,11 @@ pub use check::{torture, torture_plan, TortureConfig};
 pub use detmap::{DetHashMap, DetHashSet, DetState};
 pub use faults::{FaultEvent, FaultPlan, FaultProfile};
 pub use kernel::{Sim, SimConfig};
-pub use metrics::{Histogram, Metrics};
+pub use metrics::{FastCounter, Histogram, Metrics};
 pub use network::{Network, NetworkConfig, ScriptedFate};
 pub use payload::Payload;
 pub use proc::{Boot, Ctx, Disk, NodeId, Process, ProcessId, TimerId};
+pub use queue::{EventKey, EventQueue};
 pub use rng::{SimRng, Zipf};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Span, SpanEvent, SpanId, SpanKind, Tracer};

@@ -136,6 +136,18 @@ impl Histogram {
     }
 }
 
+/// Handle to a pre-registered hot-path counter slot.
+///
+/// The kernel bumps its per-event counters (`net.delivered`,
+/// `net.sent`, …) millions of times per run; routing those through the
+/// `BTreeMap` string lookup in [`Metrics::incr`] dominated dispatch
+/// profiles. A `FastCounter` is an index into a flat slot vector, so
+/// the bump is one add — while reads through [`Metrics::counter`] /
+/// [`Metrics::counters`] merge the slots back in transparently, keeping
+/// mid-run reads exact and report output byte-identical.
+#[derive(Clone, Copy, Debug)]
+pub struct FastCounter(u32);
+
 /// Named counters and histograms for one simulation run.
 ///
 /// Keys are plain strings; components namespace themselves by convention
@@ -145,12 +157,32 @@ impl Histogram {
 pub struct Metrics {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    /// Pre-registered hot counters: `(name, value)` slots addressed by
+    /// [`FastCounter`] index, merged into every read.
+    fast: Vec<(&'static str, u64)>,
 }
 
 impl Metrics {
     /// Empty metrics registry.
     pub fn new() -> Self {
         Metrics::default()
+    }
+
+    /// Pre-register a hot counter slot for [`Metrics::incr_fast`].
+    /// Registering the same name again returns the existing slot.
+    pub fn register_fast(&mut self, name: &'static str) -> FastCounter {
+        if let Some(i) = self.fast.iter().position(|(n, _)| *n == name) {
+            return FastCounter(i as u32);
+        }
+        self.fast.push((name, 0));
+        FastCounter(self.fast.len() as u32 - 1)
+    }
+
+    /// Add `delta` to a pre-registered slot — the allocation-free,
+    /// lookup-free path for per-event kernel counters.
+    #[inline]
+    pub fn incr_fast(&mut self, slot: FastCounter, delta: u64) {
+        self.fast[slot.0 as usize].1 += delta;
     }
 
     /// Add `delta` to the named counter (creating it at zero).
@@ -163,9 +195,16 @@ impl Metrics {
         }
     }
 
-    /// Read a counter; missing counters read as zero.
+    /// Read a counter; missing counters read as zero. Fast-slot values
+    /// are merged in, so mid-run reads see `incr_fast` bumps exactly.
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        let fast: u64 = self
+            .fast
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .sum();
+        self.counters.get(name).copied().unwrap_or(0) + fast
     }
 
     /// Record a duration sample into the named histogram.
@@ -186,8 +225,28 @@ impl Metrics {
     }
 
     /// Iterate all counters in deterministic (sorted) order.
+    ///
+    /// Non-zero fast slots are merged in (summed into a same-named
+    /// string counter if one exists). Zero-valued fast slots are
+    /// *skipped*: a registered-but-never-bumped counter stays invisible,
+    /// exactly as an never-`incr`ed string counter would — report
+    /// output is byte-identical to the pre-fast-path kernel.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        let mut merged: Vec<(&str, u64)> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        for &(name, value) in &self.fast {
+            if value == 0 {
+                continue;
+            }
+            match merged.binary_search_by(|(k, _)| (*k).cmp(name)) {
+                Ok(i) => merged[i].1 += value,
+                Err(i) => merged.insert(i, (name, value)),
+            }
+        }
+        merged.into_iter()
     }
 
     /// Iterate all histograms in deterministic (sorted) order.
@@ -276,5 +335,47 @@ mod tests {
         m.incr("a", 1);
         let keys: Vec<_> = m.counters().map(|(k, _)| k.to_owned()).collect();
         assert_eq!(keys, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn fast_counters_merge_into_reads() {
+        let mut m = Metrics::new();
+        let sent = m.register_fast("net.sent");
+        let idle = m.register_fast("net.idle");
+        m.incr_fast(sent, 2);
+        m.incr_fast(sent, 3);
+        // Mid-run reads see fast bumps immediately and exactly.
+        assert_eq!(m.counter("net.sent"), 5);
+        // String and fast paths to the same name sum.
+        m.incr("net.sent", 10);
+        assert_eq!(m.counter("net.sent"), 15);
+        let all: Vec<_> = m.counters().map(|(k, v)| (k.to_owned(), v)).collect();
+        assert_eq!(all, vec![("net.sent".to_owned(), 15)]);
+        // Zero-valued registered slots stay invisible, like a counter
+        // that was never incremented.
+        assert_eq!(m.counter("net.idle"), 0);
+        assert!(!m.counters().any(|(k, _)| k == "net.idle"));
+        let _ = idle;
+    }
+
+    #[test]
+    fn fast_registration_dedups_and_sorts_into_output() {
+        let mut m = Metrics::new();
+        m.incr("b.mid", 7);
+        let a = m.register_fast("a.first");
+        let a2 = m.register_fast("a.first");
+        let z = m.register_fast("z.last");
+        m.incr_fast(a, 1);
+        m.incr_fast(a2, 1); // same slot: dedup by name
+        m.incr_fast(z, 9);
+        let all: Vec<_> = m.counters().map(|(k, v)| (k.to_owned(), v)).collect();
+        assert_eq!(
+            all,
+            vec![
+                ("a.first".to_owned(), 2),
+                ("b.mid".to_owned(), 7),
+                ("z.last".to_owned(), 9),
+            ]
+        );
     }
 }

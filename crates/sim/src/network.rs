@@ -86,8 +86,13 @@ pub struct Network {
     config: NetworkConfig,
     /// Symmetric blocked (a, b) node pairs with a < b.
     cuts: HashSet<(NodeId, NodeId)>,
-    /// Directed per-link message counters (cross-node sends only).
-    link_counts: HashMap<(NodeId, NodeId), u64>,
+    /// Directed per-link message counters as a dense `dim × dim` matrix
+    /// (row = src, column = dst), grown on demand. Every cross-node
+    /// send bumps one cell, so this sits on the kernel's hot path — a
+    /// flat index beats hashing a `(NodeId, NodeId)` key per message.
+    link_counts: Vec<u64>,
+    /// Side length of the `link_counts` matrix.
+    link_dim: usize,
     /// (src, dst, nth-on-link) → scripted override, consumed on match.
     scripts: HashMap<(NodeId, NodeId, u64), ScriptedFate>,
 }
@@ -106,9 +111,29 @@ impl Network {
         Network {
             config,
             cuts: HashSet::default(),
-            link_counts: HashMap::default(),
+            link_counts: Vec::new(),
+            link_dim: 0,
             scripts: HashMap::default(),
         }
+    }
+
+    /// Flat matrix index for the directed link `src → dst`, growing the
+    /// matrix when a new-highest node id shows up (rows are re-laid out
+    /// to the larger side length; counts are preserved).
+    fn link_index(&mut self, src: NodeId, dst: NodeId) -> usize {
+        let need = (src.0.max(dst.0) as usize) + 1;
+        if need > self.link_dim {
+            let dim = need.max(self.link_dim * 2);
+            let mut grown = vec![0u64; dim * dim];
+            for row in 0..self.link_dim {
+                let old = row * self.link_dim;
+                grown[row * dim..row * dim + self.link_dim]
+                    .copy_from_slice(&self.link_counts[old..old + self.link_dim]);
+            }
+            self.link_counts = grown;
+            self.link_dim = dim;
+        }
+        src.0 as usize * self.link_dim + dst.0 as usize
     }
 
     /// The active configuration.
@@ -139,7 +164,9 @@ impl Network {
 
     /// True when traffic between `a` and `b` is currently blocked.
     pub fn is_blocked(&self, a: NodeId, b: NodeId) -> bool {
-        a != b && self.cuts.contains(&ordered(a, b))
+        // The emptiness guard keeps the common no-partition case off
+        // the hash-lookup path entirely.
+        !self.cuts.is_empty() && a != b && self.cuts.contains(&ordered(a, b))
     }
 
     /// Script the fate of the `nth` cross-node message sent from `src` to
@@ -153,7 +180,11 @@ impl Network {
 
     /// Cross-node messages routed so far on the directed link `src → dst`.
     pub fn link_count(&self, src: NodeId, dst: NodeId) -> u64 {
-        self.link_counts.get(&(src, dst)).copied().unwrap_or(0)
+        let (s, d) = (src.0 as usize, dst.0 as usize);
+        if s >= self.link_dim || d >= self.link_dim {
+            return 0;
+        }
+        self.link_counts[s * self.link_dim + d]
     }
 
     /// Decide the fate of one message from `src` to `dst`.
@@ -163,7 +194,8 @@ impl Network {
             return Fate::Deliver(self.config.local_latency);
         }
         let nth = {
-            let count = self.link_counts.entry((src, dst)).or_insert(0);
+            let idx = self.link_index(src, dst);
+            let count = &mut self.link_counts[idx];
             let nth = *count;
             *count += 1;
             nth
@@ -173,15 +205,18 @@ impl Network {
         }
         // Scripted overrides bypass the loss draw but must not perturb
         // the RNG stream of unscripted runs, so the drop draw happens
-        // only on the unscripted path.
-        if let Some(scripted) = self.scripts.remove(&(src, dst, nth)) {
-            return match scripted {
-                ScriptedFate::Drop => Fate::Drop,
-                ScriptedFate::Duplicate => {
-                    Fate::Duplicate(self.sample_latency(rng), self.sample_latency(rng))
-                }
-                ScriptedFate::Delay(extra) => Fate::Deliver(self.sample_latency(rng) + extra),
-            };
+        // only on the unscripted path. The emptiness guard skips the
+        // per-message hash lookup on unscripted runs entirely.
+        if !self.scripts.is_empty() {
+            if let Some(scripted) = self.scripts.remove(&(src, dst, nth)) {
+                return match scripted {
+                    ScriptedFate::Drop => Fate::Drop,
+                    ScriptedFate::Duplicate => {
+                        Fate::Duplicate(self.sample_latency(rng), self.sample_latency(rng))
+                    }
+                    ScriptedFate::Delay(extra) => Fate::Deliver(self.sample_latency(rng) + extra),
+                };
+            }
         }
         if rng.chance(self.config.drop_prob) {
             return Fate::Drop;
@@ -314,6 +349,24 @@ mod tests {
             }
             other => panic!("expected delayed delivery, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn link_matrix_growth_preserves_counts() {
+        let mut net = Network::new(NetworkConfig::default());
+        let mut r = rng();
+        for _ in 0..3 {
+            net.route(&mut r, NodeId(0), NodeId(1));
+        }
+        assert_eq!(net.link_count(NodeId(0), NodeId(1)), 3);
+        // Routing on a much higher node id forces a matrix re-layout;
+        // the old counts must survive it.
+        net.route(&mut r, NodeId(7), NodeId(0));
+        assert_eq!(net.link_count(NodeId(0), NodeId(1)), 3);
+        assert_eq!(net.link_count(NodeId(7), NodeId(0)), 1);
+        assert_eq!(net.link_count(NodeId(1), NodeId(0)), 0);
+        // Never-routed high ids read zero without growing anything.
+        assert_eq!(net.link_count(NodeId(100), NodeId(101)), 0);
     }
 
     #[test]

@@ -154,11 +154,60 @@ pub struct Boot<'a> {
 /// Factory recreating a process's volatile state, possibly from its disk.
 pub type ProcessFactory = Box<dyn FnMut(&mut Boot) -> Box<dyn Process>>;
 
+/// `Option<SpanId>` packed into one word for queued events and buffered
+/// effects: span ids start at 1, so `0` is free to mean "no span". The
+/// unpacked form is 16 bytes; every queued event carries two optional
+/// words (span + deadline), so packing shrinks the structures the kernel
+/// moves on every single event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SpanWord(u64);
+
+impl SpanWord {
+    pub(crate) const NONE: SpanWord = SpanWord(0);
+
+    #[inline]
+    pub(crate) fn pack(span: Option<SpanId>) -> Self {
+        SpanWord(span.map_or(0, |s| s.0))
+    }
+
+    #[inline]
+    pub(crate) fn get(self) -> Option<SpanId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(SpanId(self.0))
+        }
+    }
+}
+
+/// `Option<SimTime>` deadline packed the same way; `u64::MAX` nanoseconds
+/// (~584 simulated years) stands for "no deadline".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DeadlineWord(u64);
+
+impl DeadlineWord {
+    pub(crate) const NONE: DeadlineWord = DeadlineWord(u64::MAX);
+
+    #[inline]
+    pub(crate) fn pack(deadline: Option<SimTime>) -> Self {
+        DeadlineWord(deadline.map_or(u64::MAX, |t| t.as_nanos()))
+    }
+
+    #[inline]
+    pub(crate) fn get(self) -> Option<SimTime> {
+        if self.0 == u64::MAX {
+            None
+        } else {
+            Some(SimTime::from_nanos(self.0))
+        }
+    }
+}
+
 /// Buffered effect produced by a handler; applied by the kernel afterwards.
 ///
 /// `Send` and `SetTimer` carry the span that was current when the effect was
 /// buffered — this is how causal trace context propagates across the wire
-/// and across timer firings. The field is always `None` when tracing is off.
+/// and across timer firings. The field is always `NONE` when tracing is off.
 /// They also carry the request deadline current at buffering time, so the
 /// remaining time budget rides every causal edge the same way span context
 /// does: a handler working on behalf of a deadlined request stamps that
@@ -168,15 +217,15 @@ pub(crate) enum Effect {
         to: ProcessId,
         payload: Payload,
         extra_delay: SimDuration,
-        span: Option<SpanId>,
-        deadline: Option<SimTime>,
+        span: SpanWord,
+        deadline: DeadlineWord,
     },
     SetTimer {
         id: TimerId,
         delay: SimDuration,
         tag: u64,
-        span: Option<SpanId>,
-        deadline: Option<SimTime>,
+        span: SpanWord,
+        deadline: DeadlineWord,
     },
     CancelTimer(TimerId),
     Halt,
@@ -206,24 +255,28 @@ pub struct Ctx<'a> {
 
 impl<'a> Ctx<'a> {
     /// Current virtual time.
+    #[inline]
     pub fn now(&self) -> SimTime {
         self.now
     }
 
     /// This process's id.
+    #[inline]
     pub fn me(&self) -> ProcessId {
         self.pid
     }
 
     /// The node this process runs on.
+    #[inline]
     pub fn node(&self) -> NodeId {
         self.node
     }
 
     /// Send `payload` to `to` over the simulated network.
+    #[inline]
     pub fn send(&mut self, to: ProcessId, payload: Payload) {
-        let span = self.current_span();
-        let deadline = self.deadline;
+        let span = SpanWord::pack(self.current_span());
+        let deadline = DeadlineWord::pack(self.deadline);
         self.effects.push(Effect::Send {
             to,
             payload,
@@ -234,9 +287,10 @@ impl<'a> Ctx<'a> {
     }
 
     /// Send after holding the message locally for `delay` first.
+    #[inline]
     pub fn send_after(&mut self, to: ProcessId, payload: Payload, delay: SimDuration) {
-        let span = self.current_span();
-        let deadline = self.deadline;
+        let span = SpanWord::pack(self.current_span());
+        let deadline = DeadlineWord::pack(self.deadline);
         self.effects.push(Effect::Send {
             to,
             payload,
@@ -247,11 +301,12 @@ impl<'a> Ctx<'a> {
     }
 
     /// Arm a timer that fires [`Process::on_timer`] with `tag` after `delay`.
+    #[inline]
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
         *self.timer_seq += 1;
         let id = TimerId(*self.timer_seq);
-        let span = self.current_span();
-        let deadline = self.deadline;
+        let span = SpanWord::pack(self.current_span());
+        let deadline = DeadlineWord::pack(self.deadline);
         self.effects.push(Effect::SetTimer {
             id,
             delay,
@@ -264,6 +319,7 @@ impl<'a> Ctx<'a> {
 
     /// Cancel a previously armed timer. Cancelling an already-fired timer
     /// is a no-op.
+    #[inline]
     pub fn cancel_timer(&mut self, id: TimerId) {
         self.effects.push(Effect::CancelTimer(id));
     }
@@ -274,16 +330,19 @@ impl<'a> Ctx<'a> {
     }
 
     /// The deterministic random number generator.
+    #[inline]
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
     }
 
     /// The process's durable disk.
+    #[inline]
     pub fn disk(&mut self) -> &mut Disk {
         self.disk
     }
 
     /// The run-wide metrics registry.
+    #[inline]
     pub fn metrics(&mut self) -> &mut Metrics {
         self.metrics
     }
@@ -298,6 +357,7 @@ impl<'a> Ctx<'a> {
     // remaining budget on the wire — no clock-skew translation is needed.
 
     /// The deadline of the request currently being served, if any.
+    #[inline]
     pub fn deadline(&self) -> Option<SimTime> {
         self.deadline
     }
@@ -340,6 +400,7 @@ impl<'a> Ctx<'a> {
 
     /// The innermost currently entered span, if any. New spans are parented
     /// under it and buffered sends/timers carry it across the wire.
+    #[inline]
     pub fn current_span(&self) -> Option<SpanId> {
         self.span_stack.last().copied()
     }

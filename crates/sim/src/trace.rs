@@ -193,6 +193,7 @@ impl Tracer {
     }
 
     /// Whether tracing is currently on.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
@@ -204,6 +205,7 @@ impl Tracer {
 
     /// Open a span starting now. Returns `None` (without evaluating the
     /// label closure) when tracing is off or the store is full.
+    #[inline]
     pub fn start(
         &mut self,
         kind: SpanKind,
@@ -258,6 +260,7 @@ impl Tracer {
     }
 
     /// Record a point event. The closure is only evaluated when enabled.
+    #[inline]
     pub fn event(
         &mut self,
         time: SimTime,

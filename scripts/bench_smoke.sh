@@ -1,0 +1,31 @@
+#!/bin/sh
+# CI smoke run of the kernel events/sec suite against the committed
+# baseline trajectory point.
+#
+#   sh scripts/bench_smoke.sh [out.json] [baseline.json]
+#
+# Runs `bench --kernel --quick --json` and fails (exit 1) if any cell
+# regressed against the baseline:
+#
+#   * `events` / `sim_ns` are deterministic and must match EXACTLY —
+#     a mismatch means the kernel's schedule changed, which needs a
+#     conscious baseline refresh, not a green build.
+#   * wall-clock medians are compared with a slack factor. The default
+#     1.3 is the nominal ">30% regression" gate for a machine
+#     comparable to the one that recorded the baseline; CI overrides
+#     with WALL_SLACK=4.0 because hosted runners are wildly slower and
+#     noisier than the recording box, and a tight wall gate would flap.
+#
+# The JSON output is uploaded as a CI artifact either way, so every PR
+# leaves an inspectable events/sec datapoint.
+set -eu
+
+OUT="${1:-bench_kernel_ci.json}"
+BASELINE="${2:-BENCH_1.json}"
+WALL_SLACK="${WALL_SLACK:-1.3}"
+
+rm -f "$OUT"
+cargo build --release --offline -p tca-bench --bin bench
+./target/release/bench --kernel --quick --json "$OUT" \
+    --baseline "$BASELINE" --wall-slack "$WALL_SLACK"
+echo "bench-smoke OK: wrote $OUT, baseline $BASELINE (wall slack ${WALL_SLACK}x)"
