@@ -105,6 +105,11 @@ fn main() {
             "E17: overload resilience — naive retries vs full stack (§5.3)",
             ex::e17_overload_resilience,
         ),
+        (
+            "e18",
+            "E18: exhaustive schedule model checking (§5.2)",
+            ex::e18_model_check,
+        ),
     ];
 
     for (name, title, f) in suite {

@@ -26,7 +26,10 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{SpanId, SpanKind, Tracer};
 
-enum EventKind {
+/// One queued kernel event. `pub(crate)` so the model checker
+/// ([`crate::mc`]) can enumerate and classify pending events; the kind is
+/// never exposed outside the crate.
+pub(crate) enum EventKind {
     Start {
         pid: ProcessId,
         generation: u32,
@@ -298,13 +301,25 @@ impl Sim {
     /// Run until no events remain (panics after `max_events` as a runaway
     /// guard, since many protocols self-retrigger forever).
     pub fn run_to_quiescence(&mut self, max_events: u64) {
+        assert!(
+            self.try_run_to_quiescence(max_events),
+            "no quiescence after {max_events} events"
+        );
+    }
+
+    /// Run until no events remain, giving up (without panicking) once more
+    /// than `max_events` events have executed. Returns `true` when the
+    /// queue drained, `false` when the budget ran out first — the
+    /// recoverable form of [`Sim::run_to_quiescence`] that bounded
+    /// executors such as the model checker's closure use.
+    pub fn try_run_to_quiescence(&mut self, max_events: u64) -> bool {
         let start = self.events_processed;
         while self.step() {
-            assert!(
-                self.events_processed - start <= max_events,
-                "no quiescence after {max_events} events"
-            );
+            if self.events_processed - start > max_events {
+                return false;
+            }
         }
+        true
     }
 
     // ----- faults ----------------------------------------------------------
@@ -800,6 +815,135 @@ impl Sim {
         for (pid, generation) in to_start {
             self.push(self.now, EventKind::Start { pid, generation });
         }
+    }
+
+    // ----- model-checker hooks ---------------------------------------------
+    //
+    // The timing wheel has no removal or iteration API, and pushing a key
+    // behind the wheel's cursor is illegal — but draining it fully and
+    // replacing it with a *fresh* queue (cursor re-anchored at zero) before
+    // re-pushing the original keys is legal and preserves `(time, seq)` pop
+    // order exactly. Every hook below works that way. The drains are O(n)
+    // per call, which is irrelevant for the tiny worlds the checker runs
+    // and costs normal runs nothing: none of these methods sit on the
+    // `step()` path, so the checker is zero-cost when off.
+
+    /// Drain the queue, drop dead events (cancelled timers, stale
+    /// generations), offer each survivor to `f`, and rebuild the queue with
+    /// the survivors in their original order. Used by [`crate::mc`] to
+    /// enumerate the enabled events at a choice point.
+    pub(crate) fn mc_scan<R>(
+        &mut self,
+        mut f: impl FnMut(&EventKey, &EventKind) -> Option<R>,
+    ) -> Vec<R> {
+        let mut out = Vec::new();
+        let mut fresh = EventQueue::new();
+        while let Some((key, kind)) = self.queue.pop() {
+            if self.mc_event_is_dead(&kind) {
+                continue;
+            }
+            if let Some(r) = f(&key, &kind) {
+                out.push(r);
+            }
+            fresh.push(key, kind);
+        }
+        self.queue = fresh;
+        out
+    }
+
+    /// True for queued events that the kernel would discard without side
+    /// effects on dispatch: cancelled timers (consumed from the cancelled
+    /// set exactly like dispatch would) and timers/starts from a dead
+    /// process incarnation.
+    fn mc_event_is_dead(&mut self, kind: &EventKind) -> bool {
+        match kind {
+            EventKind::Timer {
+                pid,
+                generation,
+                id,
+                ..
+            } => {
+                if !self.cancelled_timers.is_empty() && self.cancelled_timers.remove(id) {
+                    return true;
+                }
+                self.procs[pid.0 as usize].generation != *generation
+            }
+            EventKind::Start { pid, generation } => {
+                self.procs[pid.0 as usize].generation != *generation
+            }
+            _ => false,
+        }
+    }
+
+    /// Remove and return the queued event with sequence number `seq`, or
+    /// `None` if no such event is pending.
+    pub(crate) fn mc_take(&mut self, seq: u64) -> Option<(EventKey, EventKind)> {
+        let mut taken = None;
+        let mut fresh = EventQueue::new();
+        while let Some((key, kind)) = self.queue.pop() {
+            if key.seq == seq && taken.is_none() {
+                taken = Some((key, kind));
+            } else {
+                fresh.push(key, kind);
+            }
+        }
+        self.queue = fresh;
+        taken
+    }
+
+    /// Execute one event out of queue order. With `advance_time` the clock
+    /// moves forward to the event's scheduled time (used for timers and
+    /// scheduled faults, which must not fire early); without it the event
+    /// runs at the current instant (used for deliveries, whose scheduled
+    /// time was one latency draw out of the arbitrary latencies the checker
+    /// over-approximates). Time never moves backwards either way.
+    pub(crate) fn mc_dispatch(&mut self, key: EventKey, kind: EventKind, advance_time: bool) {
+        if advance_time && key.time > self.now {
+            self.now = key.time;
+        }
+        self.events_processed += 1;
+        self.dispatch(kind);
+    }
+
+    /// Clamp every pending event's time up to `now`, keeping the original
+    /// order of any events that get clamped together. After the checker has
+    /// delivered messages "early", leftover event times may precede `now`;
+    /// ordinary [`Sim::step`] execution (used by the checker's closure and
+    /// after schedule replay) requires monotone times again.
+    pub(crate) fn mc_clamp_queue_to_now(&mut self) {
+        let now = self.now;
+        let mut fresh = EventQueue::new();
+        while let Some((mut key, kind)) = self.queue.pop() {
+            if key.time < now {
+                key.time = now;
+            }
+            fresh.push(key, kind);
+        }
+        self.queue = fresh;
+    }
+
+    /// Per-process `(has_state, halted)` flags, for the checker's state
+    /// fingerprint.
+    pub(crate) fn mc_proc_flags(&self, idx: usize) -> (bool, bool) {
+        let slot = &self.procs[idx];
+        (slot.state.is_some(), slot.halted)
+    }
+
+    /// Number of spawned processes.
+    pub(crate) fn mc_proc_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Number of nodes in the cluster.
+    pub(crate) fn mc_node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Fingerprint of the RNG's internal state, for the checker's
+    /// draw-detection (a changed fingerprint means some handler consumed
+    /// randomness, which weakens schedule-space pruning).
+    pub(crate) fn mc_rng_fingerprint(&self) -> u64 {
+        self.rng.state_fingerprint()
     }
 }
 

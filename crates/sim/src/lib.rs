@@ -36,6 +36,7 @@ pub mod check;
 pub mod detmap;
 pub mod faults;
 pub mod kernel;
+pub mod mc;
 pub mod metrics;
 pub mod network;
 pub mod payload;
@@ -50,6 +51,9 @@ pub use check::{torture, torture_plan, TortureConfig};
 pub use detmap::{DetHashMap, DetHashSet, DetState};
 pub use faults::{FaultEvent, FaultPlan, FaultProfile};
 pub use kernel::{Sim, SimConfig};
+pub use mc::{
+    Choice, McClosure, McConfig, McReport, McScenario, McViolation, ReplayError, Schedule,
+};
 pub use metrics::{FastCounter, Histogram, Metrics};
 pub use network::{Network, NetworkConfig, ScriptedFate};
 pub use payload::Payload;

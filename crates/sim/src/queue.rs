@@ -11,7 +11,7 @@
 //! # Design
 //!
 //! Virtual time (nanoseconds) is quantized into ticks of `2^GRAN_BITS`
-//! ns. The wheel has [`LEVELS`] levels of 64 slots; level `k` spans
+//! ns. The wheel has `LEVELS` levels of 64 slots; level `k` spans
 //! windows of `64^(k+1)` ticks. A *cursor* tracks the tick of the most
 //! recently surfaced event, and each pending event lives in exactly one
 //! of three places:

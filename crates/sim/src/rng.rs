@@ -132,6 +132,23 @@ impl SimRng {
     pub fn fork(&mut self) -> SimRng {
         SimRng::new(self.next_u64())
     }
+
+    /// A fingerprint of the generator's current internal state, without
+    /// consuming any of the stream. Two generators with equal fingerprints
+    /// will produce the same future draws; the model checker uses this to
+    /// detect whether any handler consumed randomness along a schedule.
+    pub fn state_fingerprint(&self) -> u64 {
+        // FNV-1a over the four state words: cheap, deterministic, and
+        // collision-free enough for a changed/unchanged test.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for word in self.s {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
 }
 
 /// Zipfian sampler over `[0, n)` with skew parameter `theta`.

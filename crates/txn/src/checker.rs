@@ -18,6 +18,12 @@ pub enum SerializabilityVerdict {
     Serializable,
     /// A dependency cycle exists; the listed transactions participate.
     CyclicDependency(Vec<TxId>),
+    /// Two distinct transactions wrote the same key with the *same* commit
+    /// timestamp, so their ww order is unknowable from the footprints: any
+    /// verdict built by breaking the tie (e.g. by `TxId`) could be a false
+    /// cycle or mask a real one. The listed transactions are the tied
+    /// writers, sorted and deduplicated.
+    AmbiguousTimestamps(Vec<TxId>),
 }
 
 /// Build the direct serialization graph from observed footprints and
@@ -38,6 +44,25 @@ pub fn check_serializability(footprints: &[TxFootprint]) -> SerializabilityVerdi
     }
     for list in writers.values_mut() {
         list.sort_unstable();
+    }
+    // Commit timestamps are the only evidence of ww order. If two distinct
+    // transactions share one on the same key, `sort_unstable` above has
+    // ordered them arbitrarily (by `TxId`), and any edge drawn from that
+    // order is fabricated — report the ambiguity instead of a verdict
+    // built on it.
+    let mut tied: Vec<TxId> = Vec::new();
+    for list in writers.values() {
+        for pair in list.windows(2) {
+            if pair[0].0 == pair[1].0 && pair[0].1 != pair[1].1 {
+                tied.push(pair[0].1);
+                tied.push(pair[1].1);
+            }
+        }
+    }
+    if !tied.is_empty() {
+        tied.sort_unstable();
+        tied.dedup();
+        return SerializabilityVerdict::AmbiguousTimestamps(tied);
     }
     let mut edges: HashMap<TxId, HashSet<TxId>> = HashMap::default();
     let mut add_edge = |from: TxId, to: TxId| {
@@ -316,6 +341,47 @@ mod tests {
             fp(2, 2, &[], &["x"]),
             fp(3, 3, &[("x", 2)], &["y"]),
         ];
+        assert_eq!(
+            check_serializability(&h),
+            SerializabilityVerdict::Serializable
+        );
+    }
+
+    #[test]
+    fn equal_commit_ts_writers_report_ambiguous_not_fabricated_verdict() {
+        // Two distinct transactions write x with the same commit ts. The
+        // old tie-break (sort_unstable falling through to TxId) fabricated
+        // a ww edge T1→T2; combined with T2's read of x@0 and T1's write
+        // that manufactured a T2→T1 rw edge and a *false* cycle. The
+        // footprints cannot order the writers, so the only honest verdict
+        // is the explicit ambiguity, naming exactly the tied writers.
+        let h = vec![
+            fp(1, 5, &[], &["x"]),
+            fp(2, 5, &[("x", 0)], &["x"]),
+            fp(3, 7, &[], &["y"]),
+        ];
+        assert_eq!(
+            check_serializability(&h),
+            SerializabilityVerdict::AmbiguousTimestamps(vec![TxId(1), TxId(2)])
+        );
+        // Same shape regardless of input (and thus sort) order.
+        let h_rev = vec![
+            fp(2, 5, &[("x", 0)], &["x"]),
+            fp(3, 7, &[], &["y"]),
+            fp(1, 5, &[], &["x"]),
+        ];
+        assert_eq!(
+            check_serializability(&h_rev),
+            SerializabilityVerdict::AmbiguousTimestamps(vec![TxId(1), TxId(2)])
+        );
+    }
+
+    #[test]
+    fn equal_ts_same_tx_on_two_keys_is_not_a_tie() {
+        // One transaction writing two keys at one commit ts is the normal
+        // case, not an ambiguity; and distinct writers with distinct ts
+        // stay Serializable as before.
+        let h = vec![fp(1, 1, &[], &["x", "y"]), fp(2, 2, &[("x", 1)], &["x"])];
         assert_eq!(
             check_serializability(&h),
             SerializabilityVerdict::Serializable

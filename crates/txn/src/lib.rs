@@ -23,6 +23,7 @@ pub mod actor_txn;
 pub mod causal;
 pub mod checker;
 pub mod deterministic;
+pub mod mc_scenarios;
 pub mod saga;
 pub mod torture;
 pub mod twopc;

@@ -139,6 +139,14 @@ pub struct SagaOrchestrator {
     journal: SagaJournal,
     instances: HashMap<u64, Instance>,
     next_instance: u64,
+    /// Durable high-water mark of allocated instance ids. The journal
+    /// alone cannot provide this: finished sagas are *erased* from it, so
+    /// an orchestrator that crashes and restarts within the same virtual
+    /// nanosecond (same boot epoch) would re-allocate a finished saga's
+    /// id — and since step idempotency keys derive from the id, the
+    /// databases would replay the dead saga's cached replies instead of
+    /// executing the new one.
+    last_id: Rc<RefCell<u64>>,
     retry: RetryPolicy,
 }
 
@@ -187,13 +195,24 @@ impl SagaOrchestrator {
             // would collide with its keys — and the databases would replay
             // the dead saga's cached step replies instead of executing.
             // Epoch the counter on boot time, like the 2PC coordinator.
+            // The epoch is not enough on its own: a crash + restart within
+            // one virtual nanosecond recomputes the same epoch, and erased
+            // (finished) instances no longer bump `max_id` — so the floor
+            // of every id ever allocated is kept durably too.
             let epoch = boot.now.as_nanos() << 8;
+            let last_id: Rc<RefCell<u64>> = boot.disk.get("saga_last_id").unwrap_or_else(|| {
+                let cell = Rc::new(RefCell::new(0u64));
+                boot.disk.put("saga_last_id", cell.clone());
+                cell
+            });
+            let floor = *last_id.borrow();
             Box::new(SagaOrchestrator {
                 defs: Rc::clone(&defs),
                 rpc: RpcClient::new(),
                 journal,
                 instances,
-                next_instance: max_id.max(epoch) + 1,
+                next_instance: max_id.max(epoch).max(floor) + 1,
+                last_id,
                 retry,
             })
         }
@@ -464,6 +483,7 @@ impl Process for SagaOrchestrator {
         }
         let id = self.next_instance;
         self.next_instance += 1;
+        *self.last_id.borrow_mut() = id;
         let span = ctx.trace_span(SpanKind::Saga, || format!("saga {}", start.saga));
         self.instances.insert(
             id,

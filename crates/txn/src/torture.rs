@@ -24,7 +24,7 @@ use tca_messaging::rpc::{RetryPolicy, RpcRequest};
 use tca_models::actor::{
     ActorCompletion, ActorId, ActorRouter, ActorSilo, Directory, DirectoryConfig, SiloConfig,
 };
-use tca_sim::{Ctx, FaultPlan, Payload, Process, ProcessId, Sim, SimDuration, SimTime};
+use tca_sim::{Boot, Ctx, FaultPlan, Payload, Process, ProcessId, Sim, SimDuration, SimTime};
 use tca_storage::{DbMsg, DbRequest, DbServer, DbServerConfig, ProcRegistry, Value};
 
 use crate::actor_txn::{transactional_bank_registry, transfer_plan};
@@ -205,7 +205,7 @@ pub fn twopc_torture_scenario(seed: u64, plan: &FaultPlan) -> Result<(), String>
 // Sagas
 // ---------------------------------------------------------------------------
 
-fn stock_registry() -> ProcRegistry {
+pub(crate) fn stock_registry() -> ProcRegistry {
     ProcRegistry::new()
         .with("reserve", |tx, args| {
             let item = args[0].as_str().to_owned();
@@ -228,7 +228,7 @@ fn stock_registry() -> ProcRegistry {
         })
 }
 
-fn payment_registry() -> ProcRegistry {
+pub(crate) fn payment_registry() -> ProcRegistry {
     ProcRegistry::new()
         .with("charge", |tx, args| {
             let account = args[0].as_str().to_owned();
@@ -253,7 +253,7 @@ fn payment_registry() -> ProcRegistry {
         })
 }
 
-fn checkout_saga(stock_db: ProcessId, pay_db: ProcessId) -> SagaDef {
+pub(crate) fn checkout_saga(stock_db: ProcessId, pay_db: ProcessId) -> SagaDef {
     SagaDef {
         name: "checkout".into(),
         steps: vec![
@@ -453,6 +453,22 @@ impl Process for ActorDriver {
         if let Some(completions) = self.router.on_timer(ctx, tag) {
             self.absorb(ctx, completions);
         }
+    }
+}
+
+/// Factory for the torture/model-check driver process: runs `plan` steps
+/// sequentially, advancing on each completion (shared with
+/// `mc_scenarios`).
+pub(crate) fn actor_driver_factory(
+    directory: ProcessId,
+    plan: Vec<(ActorId, String, Vec<Value>, &'static str)>,
+) -> impl FnMut(&mut Boot) -> Box<dyn Process> {
+    move |_| {
+        Box::new(ActorDriver {
+            router: ActorRouter::new(directory),
+            plan: plan.clone(),
+            at: 0,
+        })
     }
 }
 

@@ -129,6 +129,11 @@ pub struct ParticipantConfig {
     /// coordinator releases them — but inquiring is what makes recovery
     /// eventual instead of hoping a decision retry gets through.
     pub decision_inquiry_after: SimDuration,
+    /// Mutation knob for the model-checker's self-test: when set, a late
+    /// `ExecuteReq` for an already-decided txid is *executed* instead of
+    /// rejected, reintroducing the lock-leak bug the late-execute guard
+    /// fixed. Never enable outside tests.
+    pub accept_late_execute: bool,
 }
 
 impl Default for ParticipantConfig {
@@ -137,6 +142,7 @@ impl Default for ParticipantConfig {
             execute_timeout: SimDuration::from_millis(100),
             decide_latency: SimDuration::from_micros(100),
             decision_inquiry_after: SimDuration::from_millis(150),
+            accept_late_execute: false,
         }
     }
 }
@@ -266,6 +272,57 @@ impl TwoPcParticipant {
         }
     }
 
+    /// Safety invariant for the model checker: branches still open for a
+    /// txid the participant already saw decided. Such "zombie" branches
+    /// hold engine locks that nothing will ever release (the decision
+    /// already came and went), so this must always be zero.
+    pub fn zombie_branches(&self) -> usize {
+        self.branches
+            .keys()
+            .filter(|txid| self.recently_decided.contains(txid))
+            .count()
+    }
+
+    /// Order-insensitive digest of the participant's protocol state
+    /// (branches, decided set, prepared log, open engine transactions) for
+    /// model-checker state fingerprints. Balances are not included — the
+    /// checking scenario peeks those separately.
+    pub fn state_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        let mut branches: Vec<(u64, u64, u64)> = self
+            .branches
+            .iter()
+            .map(|(&txid, b)| (txid, b.state as u64, b.txs.len() as u64))
+            .collect();
+        branches.sort_unstable();
+        mix(branches.len() as u64);
+        for (txid, state, ntxs) in branches {
+            mix(txid);
+            mix(state);
+            mix(ntxs);
+        }
+        let mut decided: Vec<u64> = self.recently_decided.iter().copied().collect();
+        decided.sort_unstable();
+        mix(decided.len() as u64);
+        for txid in decided {
+            mix(txid);
+        }
+        let mut prepared: Vec<u64> = self.prepared_log.borrow().iter().copied().collect();
+        prepared.sort_unstable();
+        mix(prepared.len() as u64);
+        for txid in prepared {
+            mix(txid);
+        }
+        mix(self.engine.active_count() as u64);
+        h
+    }
+
     /// Direct engine peek for tests.
     pub fn engine(&self) -> &Engine {
         &self.engine
@@ -293,7 +350,7 @@ impl Process for TwoPcParticipant {
             // started the branch. Executing now would acquire locks for a
             // transaction that is already over — nobody would ever
             // release them.
-            if self.recently_decided.contains(&req.txid) {
+            if !self.config.accept_late_execute && self.recently_decided.contains(&req.txid) {
                 ctx.metrics()
                     .incr(&format!("{}.late_execute_aborts", self.name), 1);
                 ctx.send(
@@ -502,6 +559,14 @@ pub struct TwoPcCoordinator {
     txns: HashMap<u64, Dtx>,
     next_txid: u64,
     decisions: DecisionJournal,
+    /// Durable high-water mark of allocated txids. The epoch formula
+    /// alone (`boot.now << 8`) reuses txids when the coordinator crashes
+    /// and restarts within the same virtual nanosecond: the second
+    /// incarnation re-issues a txid whose branches may still be open on
+    /// participants, which then *merge* two distinct transactions into
+    /// one branch entry and commit/abort them together. Persisting the
+    /// floor makes txids unique across same-instant incarnations.
+    txid_floor: Rc<RefCell<u64>>,
 }
 
 impl TwoPcCoordinator {
@@ -548,11 +613,18 @@ impl TwoPcCoordinator {
                     },
                 );
             }
+            let txid_floor: Rc<RefCell<u64>> = boot.disk.get("txid_floor").unwrap_or_else(|| {
+                let cell = Rc::new(RefCell::new(0u64));
+                boot.disk.put("txid_floor", cell.clone());
+                cell
+            });
+            let floor = *txid_floor.borrow();
             Box::new(TwoPcCoordinator {
                 config: config.clone(),
                 txns,
-                next_txid: (boot.now.as_nanos() << 8).max(1),
+                next_txid: (boot.now.as_nanos() << 8).max(1).max(floor),
                 decisions,
+                txid_floor,
             })
         }
     }
@@ -560,6 +632,60 @@ impl TwoPcCoordinator {
     /// Transactions the coordinator still considers open (audit hook).
     pub fn open_dtxs(&self) -> usize {
         self.txns.len()
+    }
+
+    /// Order-insensitive digest of the coordinator's protocol state
+    /// (open transactions with phase/pending sets, decision journal,
+    /// txid cursor) for model-checker state fingerprints.
+    pub fn state_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.next_txid);
+        let mut txns: Vec<(u64, u64)> = self
+            .txns
+            .iter()
+            .map(|(&txid, dtx)| {
+                let mut pending: Vec<u32> = dtx.pending.iter().map(|p| p.0).collect();
+                pending.sort_unstable();
+                let mut t: u64 = 0xcbf2_9ce4_8422_2325;
+                let mut tmix = |v: u64| {
+                    for b in v.to_le_bytes() {
+                        t ^= b as u64;
+                        t = t.wrapping_mul(0x0000_0100_0000_01b3);
+                    }
+                };
+                tmix(dtx.phase as u64);
+                tmix(dtx.commit as u64);
+                tmix(dtx.pending_branches.len() as u64);
+                for p in pending {
+                    tmix(p as u64);
+                }
+                (txid, t)
+            })
+            .collect();
+        txns.sort_unstable();
+        mix(txns.len() as u64);
+        for (txid, t) in txns {
+            mix(txid);
+            mix(t);
+        }
+        let decisions = self.decisions.borrow();
+        let mut journal: Vec<(u64, u64)> = decisions
+            .iter()
+            .map(|(&txid, (commit, parts))| (txid, (*commit as u64) << 32 | parts.len() as u64))
+            .collect();
+        journal.sort_unstable();
+        mix(journal.len() as u64);
+        for (txid, d) in journal {
+            mix(txid);
+            mix(d);
+        }
+        h
     }
 
     fn decide(&mut self, ctx: &mut Ctx, txid: u64, commit: bool, error: Option<String>) {
@@ -676,6 +802,7 @@ impl Process for TwoPcCoordinator {
             }
             self.next_txid += 1;
             let txid = self.next_txid;
+            *self.txid_floor.borrow_mut() = txid;
             let participants: HashSet<ProcessId> =
                 start.branches.iter().map(|(p, _, _)| *p).collect();
             let span = ctx.trace_span(SpanKind::Txn, || format!("dtx {txid}"));

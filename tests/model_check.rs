@@ -1,0 +1,217 @@
+//! Model-checker cross-validation and pinned interleaving regressions.
+//!
+//! Three layers of coverage:
+//!
+//! 1. **Cross-validation** — the exhaustive checker and the torture-style
+//!    closure audit must agree that the small protocol worlds are correct:
+//!    bounded exploration reports `verified()` and the fault-free schedule
+//!    replays clean through the same audit.
+//! 2. **Seeded mutation** — re-enabling the PR 2 late-`ExecuteReq` bug via
+//!    `ParticipantConfig::accept_late_execute` must make the checker emit a
+//!    minimal schedule that replays to the same violation deterministically.
+//! 3. **Pinned schedules** — the two real interleaving bugs the checker
+//!    found (same-instant coordinator txid reuse, same-instant orchestrator
+//!    instance-id reuse) stay fixed: their harvested minimal schedules must
+//!    replay without violation.
+//!
+//! Exploration depths here are kept small because tier-1 tests run in debug
+//! mode; the release-mode E18 experiment and the CI `model-check` job push
+//! the same scenarios much deeper.
+
+use tca_sim::mc::{check_schedule, explore};
+use tca_sim::{McConfig, NodeId, Schedule};
+use tca_txn::mc_scenarios::{
+    saga_id_reuse_schedule, saga_mc_scenario, twopc_late_execute_mutation_scenario,
+    twopc_mc_scenario, twopc_txid_reuse_schedule,
+};
+
+fn twopc_cfg() -> McConfig {
+    McConfig {
+        max_depth: 5,
+        max_crashes: 1,
+        crashable: vec![NodeId(2)],
+        ..McConfig::default()
+    }
+}
+
+#[test]
+fn checker_verifies_small_twopc_and_agrees_with_closure_audit() {
+    let sc = twopc_mc_scenario(1);
+    let report = explore(&sc, &twopc_cfg());
+    assert!(
+        report.verified(),
+        "expected verified 2PC world, got {:?}",
+        report.violation
+    );
+    assert!(report.states > 0, "exploration must visit states");
+    assert!(
+        !report.truncated,
+        "state budget must not truncate this world"
+    );
+    assert!(!report.rng_impure, "2PC world must stay draw-free");
+    // Cross-validation: the fault-free schedule runs through the exact
+    // closure + audit the torture sweep uses and must also come back clean.
+    assert_eq!(
+        check_schedule(&sc, &twopc_cfg(), &Schedule::default()),
+        None,
+        "fault-free replay must pass the torture audit"
+    );
+}
+
+#[test]
+fn por_reduces_state_count_without_changing_the_verdict() {
+    let sc = twopc_mc_scenario(1);
+    let naive = explore(
+        &sc,
+        &McConfig {
+            por: false,
+            visited: false,
+            ..twopc_cfg()
+        },
+    );
+    let reduced = explore(&sc, &twopc_cfg());
+    assert!(naive.verified() && reduced.verified());
+    assert!(
+        reduced.states < naive.states,
+        "POR + visited-set must shrink the state count ({} vs naive {})",
+        reduced.states,
+        naive.states
+    );
+    assert!(reduced.pruned_sleep + reduced.pruned_visited > 0);
+}
+
+#[test]
+fn reintroduced_late_execute_bug_is_caught_with_replayable_schedule() {
+    let sc = twopc_late_execute_mutation_scenario();
+    let cfg = McConfig {
+        max_depth: 6,
+        ..McConfig::default()
+    };
+    let report = explore(&sc, &cfg);
+    let violation = report
+        .violation
+        .expect("checker must catch the accept_late_execute mutation");
+    assert!(
+        violation.message.contains("already-decided"),
+        "expected a zombie-branch symptom, got: {}",
+        violation.message
+    );
+    assert!(
+        violation.schedule.len() <= violation.raw_len,
+        "minimizer must not grow the schedule"
+    );
+    // The minimal schedule must replay to the same violation twice —
+    // deterministic, not a one-off artifact of exploration order.
+    let first = check_schedule(&sc, &cfg, &violation.schedule);
+    let second = check_schedule(&sc, &cfg, &violation.schedule);
+    assert_eq!(first.as_deref(), Some(violation.message.as_str()));
+    assert_eq!(first, second, "replay must be deterministic");
+}
+
+/// Deep exploration sweep for the CI `model-check` job, which runs it in
+/// release mode via `--include-ignored` under a job time cap. On a
+/// violation the minimal schedule is written to `mc_repro.txt` so CI can
+/// upload it as an artifact; replay it locally with
+/// `Sim::replay_schedule` / `check_schedule` against the named world.
+#[test]
+#[ignore = "deep exploration — run in release by the CI model-check job"]
+fn deep_exploration_sweep() {
+    let base = McConfig {
+        max_states: 5_000_000,
+        max_crashes: 1,
+        crashable: vec![NodeId(2)],
+        ..McConfig::default()
+    };
+    let worlds = [
+        (
+            "twopc×2 depth 9 +1 crash +1 drop",
+            twopc_mc_scenario(2),
+            McConfig {
+                max_depth: 9,
+                max_drops: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "twopc×1 depth 12 +2 crashes +1 drop",
+            twopc_mc_scenario(1),
+            McConfig {
+                max_depth: 12,
+                max_crashes: 2,
+                max_drops: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "saga×1 depth 8 +1 crash",
+            saga_mc_scenario(1),
+            McConfig {
+                max_depth: 8,
+                ..base.clone()
+            },
+        ),
+        (
+            "actor×2 depth 7",
+            tca_txn::mc_scenarios::actor_mc_scenario(2),
+            McConfig {
+                max_depth: 7,
+                max_crashes: 0,
+                crashable: vec![],
+                ..base
+            },
+        ),
+    ];
+    let mut failures = Vec::new();
+    for (name, sc, cfg) in worlds {
+        let report = explore(&sc, &cfg);
+        assert!(
+            !report.truncated,
+            "{name}: state budget truncated the sweep"
+        );
+        if let Some(v) = &report.violation {
+            failures.push(format!("{name}: {}\n  schedule: {}", v.message, v.schedule));
+        }
+    }
+    if !failures.is_empty() {
+        let body = failures.join("\n");
+        std::fs::write("mc_repro.txt", &body).ok();
+        panic!("model checker found violations:\n{body}");
+    }
+}
+
+#[test]
+fn pinned_twopc_txid_reuse_schedule_stays_fixed() {
+    let schedule = twopc_txid_reuse_schedule();
+    let roundtrip: Schedule = schedule.to_string().parse().expect("roundtrip parses");
+    assert_eq!(roundtrip.to_string(), schedule.to_string());
+    let cfg = McConfig {
+        max_depth: 16,
+        max_crashes: 1,
+        max_drops: 1,
+        crashable: vec![NodeId(2)],
+        ..McConfig::default()
+    };
+    assert_eq!(
+        check_schedule(&twopc_mc_scenario(2), &cfg, &schedule),
+        None,
+        "txid-reuse schedule must stay closed by the durable txid floor"
+    );
+}
+
+#[test]
+fn pinned_saga_instance_reuse_schedule_stays_fixed() {
+    let schedule = saga_id_reuse_schedule();
+    let roundtrip: Schedule = schedule.to_string().parse().expect("roundtrip parses");
+    assert_eq!(roundtrip.to_string(), schedule.to_string());
+    let cfg = McConfig {
+        max_depth: 64,
+        max_crashes: 1,
+        crashable: vec![NodeId(2)],
+        ..McConfig::default()
+    };
+    assert_eq!(
+        check_schedule(&saga_mc_scenario(2), &cfg, &schedule),
+        None,
+        "instance-reuse schedule must stay closed by the durable id floor"
+    );
+}
