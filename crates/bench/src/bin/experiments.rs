@@ -110,6 +110,11 @@ fn main() {
             "E18: exhaustive schedule model checking (§5.2)",
             ex::e18_model_check,
         ),
+        (
+            "e19",
+            "E19: sharded scale-out and hot-shard skew (§3.3/§4.2)",
+            ex::e19_sharded_scaleout,
+        ),
     ];
 
     for (name, title, f) in suite {

@@ -20,15 +20,16 @@ use tca_sim::{
     Ctx, NetworkConfig, Payload, Process, ProcessId, Sim, SimConfig, SimDuration, SimTime,
 };
 use tca_storage::{
-    CacheConfig, DbMsg, DbReply, DbRequest, DbResponse, DbServer, DbServerConfig, IsolationLevel,
-    ProcRegistry, TtlCache, Value,
+    deploy_sharded_db, CacheConfig, DbMsg, DbReply, DbRequest, DbResponse, DbServer,
+    DbServerConfig, IsolationLevel, ProcRegistry, TtlCache, Value,
 };
 use tca_txn::causal::{CausalMailbox, CausalMessage, VectorClock};
 use tca_workloads::loadgen::{
-    db_classifier, ClosedLoopConfig, ClosedLoopGen, OpenLoopConfig, OpenLoopGen, RequestFactory,
+    db_classifier, ClosedLoopConfig, ClosedLoopGen, KeyChooser, OpenLoopConfig, OpenLoopGen,
+    RequestFactory,
 };
 use tca_workloads::rmw::{RmwClient, RmwConfig};
-use tca_workloads::tpcc;
+use tca_workloads::{tpcc, ycsb};
 
 /// One printed row of an experiment.
 #[derive(Debug, Clone)]
@@ -2008,5 +2009,117 @@ pub fn e18_model_check(_seed: u64) -> Vec<Row> {
         },
     );
     rows.push(row("2pc×1 late-execute mutation", &r, "-".into()));
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E19 — sharded scale-out
+// ---------------------------------------------------------------------------
+
+/// E19: consistent-hash sharded storage behind the router (§3.3 scaling
+/// state, §4.2 partitioned stores). A million-entity YCSB-style keyspace
+/// is spread over 1→64 `DbServer` shards by the ring; a closed-loop
+/// fleet (32 clients per shard) issues single-key read-modify-writes
+/// through the router. Aggregate committed throughput should rise with
+/// shard count on the uniform workload. The second block holds the fleet
+/// fixed (16 shards, 128 clients) and turns on Zipfian skew: the ring
+/// cannot split a hot key, so the owning shard saturates and p99
+/// degrades while the uniform run at the same offered load stays flat —
+/// the hot-shard penalty, quantified by the busiest shard's share of
+/// committed calls.
+pub fn e19_sharded_scaleout(seed: u64) -> Vec<Row> {
+    const KEYSPACE: usize = 1_000_000;
+    let run = |label: &str, shards: usize, clients: usize, theta: f64| -> Row {
+        let mut sim = Sim::with_seed(seed);
+        let nodes: Vec<_> = (0..shards.min(8)).map(|_| sim.add_node()).collect();
+        let n_load = sim.add_node();
+        let (router, _) = deploy_sharded_db(
+            &mut sim,
+            &nodes,
+            "e19",
+            DbServerConfig::default(),
+            ycsb::registry,
+            shards,
+        );
+        // Keys materialize on first write (`ycsb_rmw` treats a missing key
+        // as 0), so the million-entity keyspace needs no Load phase.
+        let chooser = if theta > 0.0 {
+            KeyChooser::zipfian(KEYSPACE, theta)
+        } else {
+            KeyChooser::uniform(KEYSPACE)
+        };
+        let factory: RequestFactory = Rc::new(move |rng| {
+            let i = chooser.pick(rng);
+            Payload::new(DbMsg {
+                token: 0,
+                req: DbRequest::Call {
+                    proc: "ycsb_rmw".into(),
+                    args: vec![Value::Str(format!("user{i:08}"))],
+                },
+            })
+        });
+        sim.spawn(
+            n_load,
+            "load",
+            ClosedLoopGen::factory(
+                router,
+                factory,
+                db_classifier(),
+                ClosedLoopConfig {
+                    clients,
+                    limit: Some(25 * clients as u64),
+                    metric: "e19".into(),
+                    ..ClosedLoopConfig::default()
+                },
+            ),
+        );
+        sim.run_for(SimDuration::from_secs(60));
+        let ok = sim.metrics().counter("e19.ok");
+        let done_us = sim.metrics().counter("e19.done_at_us");
+        let seconds = if done_us > 0 {
+            done_us as f64 / 1e6
+        } else {
+            sim.now().as_secs_f64()
+        };
+        let per_shard: Vec<u64> = (0..shards)
+            .map(|i| sim.metrics().counter(&format!("e19-s{i}.calls_ok")))
+            .collect();
+        let total: u64 = per_shard.iter().sum();
+        let hot_share = per_shard.iter().max().copied().unwrap_or(0) as f64
+            / (total.max(1)) as f64;
+        let hist = sim.metrics().histogram("e19.latency");
+        Row::new(label)
+            .col("ok", ok)
+            .col("err", sim.metrics().counter("e19.err"))
+            .col("tput/s", format!("{:.0}", ok as f64 / seconds.max(1e-9)))
+            .col(
+                "p50",
+                hist.map_or("-".into(), |h| ms(h.p50().as_nanos() as f64 / 1e6)),
+            )
+            .col(
+                "p99",
+                hist.map_or("-".into(), |h| ms(h.p99().as_nanos() as f64 / 1e6)),
+            )
+            .col("hot shard", format!("{:.1}%", hot_share * 100.0))
+    };
+    let mut rows = Vec::new();
+    // Scale-out: low-contention uniform traffic, fleet sized to shards.
+    for shards in [1usize, 4, 16, 64] {
+        rows.push(run(
+            &format!("uniform, {shards} shard(s) ×{} clients", 32 * shards),
+            shards,
+            32 * shards,
+            0.0,
+        ));
+    }
+    // Skew: same deployment and offered load, uniform vs Zipfian.
+    for theta in [0.0, 0.99] {
+        rows.push(run(
+            &format!("θ={theta}, 16 shards ×128 clients"),
+            16,
+            128,
+            theta,
+        ));
+    }
     rows
 }

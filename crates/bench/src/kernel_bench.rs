@@ -19,6 +19,9 @@
 //!   broker that fans every record out to its subscribers.
 //! * `kernel/timers` — timer storm: chained timers at wheel-spanning
 //!   delays, with a cancelled timer every few hops.
+//! * `kernel/sharded-router` — partitioned request routing: clients
+//!   sending keyed requests through a router that resolves the owning
+//!   shard on the consistent-hash ring per message and relays the reply.
 //!
 //! Each cell runs a fixed, seeded workload to quiescence and returns the
 //! exact `(events, sim_ns)` it executed — deterministic, so CI compares
@@ -29,7 +32,7 @@
 
 use std::any::Any;
 
-use tca_sim::{Ctx, Payload, Process, ProcessId, Sim, SimDuration};
+use tca_sim::{Ctx, Payload, Process, ProcessId, ShardMap, Sim, SimDuration};
 
 use crate::harness::{Bench, Report};
 
@@ -466,6 +469,115 @@ pub fn timer_storm(procs: usize, firings: u32, seed: u64) -> CellRun {
     finish(sim)
 }
 
+// ----- sharded router -------------------------------------------------------
+
+struct KeyedReq {
+    key: String,
+}
+struct ShardReq {
+    client: ProcessId,
+}
+struct ShardDone {
+    client: ProcessId,
+}
+struct RouteReply;
+
+struct MiniRouter {
+    map: ShardMap,
+    shards: Vec<ProcessId>,
+}
+
+impl Process for MiniRouter {
+    fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, payload: Payload) {
+        if let Some(req) = payload.downcast_ref::<KeyedReq>() {
+            let shard = self.shards[self.map.owner(&req.key)];
+            ctx.send(shard, Payload::new(ShardReq { client: from }));
+        } else {
+            let done = payload.expect::<ShardDone>();
+            ctx.send(done.client, Payload::new(RouteReply));
+        }
+    }
+}
+
+struct MiniShard;
+
+impl Process for MiniShard {
+    fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, payload: Payload) {
+        let req = payload.expect::<ShardReq>();
+        ctx.send(
+            from,
+            Payload::new(ShardDone {
+                client: req.client,
+            }),
+        );
+    }
+}
+
+struct RouterClient {
+    router: ProcessId,
+    next_key: u64,
+    stride: u64,
+    requests_left: u32,
+}
+
+impl RouterClient {
+    fn issue(&mut self, ctx: &mut Ctx) {
+        let key = format!("user{:08}", self.next_key);
+        self.next_key = self.next_key.wrapping_add(self.stride) % 1_000_000;
+        ctx.send(self.router, Payload::new(KeyedReq { key }));
+    }
+}
+
+impl Process for RouterClient {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.issue(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _from: ProcessId, _payload: Payload) {
+        if self.requests_left > 1 {
+            self.requests_left -= 1;
+            self.issue(ctx);
+        } else {
+            ctx.metrics().incr("cell.done", 1);
+        }
+    }
+}
+
+/// `clients` concurrent clients each pushing `requests` keyed requests
+/// through a router that resolves the owning shard on a consistent-hash
+/// ring over `shards` shard processes — the per-message hot path of the
+/// sharded deployments (hash + ring lookup + two extra hops) measured on
+/// the bare kernel.
+pub fn sharded_router(clients: usize, shards: usize, requests: u32, seed: u64) -> CellRun {
+    let mut sim = Sim::with_seed(seed);
+    let client_node = sim.add_node();
+    let router_node = sim.add_node();
+    let shard_node = sim.add_node();
+    let pool: Vec<ProcessId> = (0..shards)
+        .map(|_| sim.spawn(shard_node, "shard", |_| Box::new(MiniShard)))
+        .collect();
+    let router = sim.spawn(router_node, "router", move |_| {
+        Box::new(MiniRouter {
+            map: ShardMap::ring(shards),
+            shards: pool.clone(),
+        })
+    });
+    for i in 0..clients {
+        // Coprime strides walk each client over a distinct key sequence.
+        let stride = 7919 + 2 * i as u64;
+        sim.spawn(client_node, "client", move |_| {
+            Box::new(RouterClient {
+                router,
+                next_key: i as u64 * 104_729,
+                stride,
+                requests_left: requests,
+            })
+        });
+    }
+    sim.run_to_quiescence(MAX_EVENTS);
+    assert_eq!(sim.metrics().counter("cell.done"), clients as u64);
+    finish(sim)
+}
+
 // ----- suite ----------------------------------------------------------------
 
 /// A named kernel cell: fixed seeded workload, deterministic work counts.
@@ -502,6 +614,10 @@ pub fn kernel_cells() -> Vec<KernelCell> {
         KernelCell {
             name: "kernel/timers",
             run: || timer_storm(32, 512, 42),
+        },
+        KernelCell {
+            name: "kernel/sharded-router",
+            run: || sharded_router(16, 8, 256, 42),
         },
     ]
 }

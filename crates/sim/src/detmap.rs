@@ -22,14 +22,13 @@
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasher, Hasher};
 
+use crate::place::{FNV_OFFSET, FNV_PRIME};
+
 /// 64-bit FNV-1a streaming hasher with the standard offset basis.
 #[derive(Clone, Debug)]
 pub struct DetHasher {
     state: u64,
 }
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 impl Default for DetHasher {
     fn default() -> Self {

@@ -40,6 +40,7 @@ pub mod mc;
 pub mod metrics;
 pub mod network;
 pub mod payload;
+pub mod place;
 pub mod proc;
 pub mod queue;
 pub mod rng;
@@ -57,6 +58,7 @@ pub use mc::{
 pub use metrics::{FastCounter, Histogram, Metrics};
 pub use network::{Network, NetworkConfig, ScriptedFate};
 pub use payload::Payload;
+pub use place::{fnv1a, key_shard, ShardMap};
 pub use proc::{Boot, Ctx, Disk, NodeId, Process, ProcessId, TimerId};
 pub use queue::{EventKey, EventQueue};
 pub use rng::{SimRng, Zipf};

@@ -1,0 +1,250 @@
+//! Shared key placement: one FNV-1a implementation and the shard maps
+//! built on it.
+//!
+//! Several components need to answer "which shard owns this key?" — the
+//! deterministic dataflow shards (`tca-txn::deterministic`), the storage
+//! router, and cross-shard 2PC branch construction. Before this module
+//! each grew its own hand-rolled FNV-1a; now they all share [`fnv1a`]
+//! and pick one of two placement disciplines:
+//!
+//! - [`ShardMap::modulo`] — `hash(key) % n`. Dead simple and what the
+//!   deterministic shards have always used (their frozen schedules depend
+//!   on it), but resharding moves almost every key.
+//! - [`ShardMap::ring`] — a consistent-hash ring with virtual nodes.
+//!   Each shard owns the arcs that its vnode points cover; growing the
+//!   fleet from `n` to `n+1` shards moves only `~1/(n+1)` of the keyspace.
+//!   The storage router uses this.
+//!
+//! Both disciplines are pure functions of the key bytes and the shard
+//! count, so every process in a simulation (and every run of the same
+//! seed) computes identical placement without coordination.
+
+/// FNV-1a 64-bit offset basis (shared with
+/// [`crate::detmap::DetHasher`]).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime (shared with [`crate::detmap::DetHasher`]).
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice: the workspace's one key-hash function.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: full-avalanche mixing of a 64-bit value.
+///
+/// FNV-1a diffuses each input byte *upward* only, so keys differing in
+/// their last character produce hashes that are close together in the
+/// high bits. Modulo placement never notices (it looks at the low bits),
+/// but a consistent-hash ring partitions by the *whole* hash — without a
+/// finalizer, sequential keys (`user…01`, `user…02`) would all fall on
+/// one arc.
+pub fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Modulo placement: `fnv1a(key) % shards`.
+///
+/// This is the exact function the deterministic dataflow shards have
+/// always used (formerly a private `owner_of`); keeping it byte-identical
+/// preserves their frozen schedules.
+pub fn key_shard(key: &str, shards: usize) -> usize {
+    debug_assert!(shards > 0, "placement over zero shards");
+    (fnv1a(key.as_bytes()) % shards as u64) as usize
+}
+
+/// Default number of virtual nodes per shard on the consistent-hash ring.
+/// Enough to keep arc ownership within a few percent of uniform for the
+/// fleet sizes the experiments sweep (1–64 shards).
+pub const DEFAULT_VNODES: usize = 64;
+
+#[derive(Debug, Clone)]
+enum Placement {
+    Modulo,
+    /// Ring points sorted by hash; each point maps an arc to a shard.
+    Ring(Vec<(u64, usize)>),
+}
+
+/// A key → shard placement function, shared by routers, coordinators and
+/// generators so they all agree on ownership.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    shards: usize,
+    placement: Placement,
+}
+
+impl ShardMap {
+    /// Modulo placement over `n` shards (see [`key_shard`]).
+    pub fn modulo(n: usize) -> Self {
+        assert!(n > 0, "ShardMap over zero shards");
+        ShardMap {
+            shards: n,
+            placement: Placement::Modulo,
+        }
+    }
+
+    /// Consistent-hash ring over `n` shards with [`DEFAULT_VNODES`]
+    /// virtual nodes each.
+    pub fn ring(n: usize) -> Self {
+        Self::ring_with(n, DEFAULT_VNODES)
+    }
+
+    /// Consistent-hash ring over `n` shards, `vnodes` points per shard.
+    ///
+    /// Point positions hash the stable label `shard{i}#{v}`, so the ring
+    /// is a pure function of `(n, vnodes)`: every process computes the
+    /// same ring, and shard `i`'s points are unchanged by the presence of
+    /// other shards (the consistent-hashing property).
+    pub fn ring_with(n: usize, vnodes: usize) -> Self {
+        assert!(n > 0, "ShardMap over zero shards");
+        assert!(vnodes > 0, "ring with zero vnodes");
+        let mut points = Vec::with_capacity(n * vnodes);
+        for shard in 0..n {
+            for v in 0..vnodes {
+                points.push((mix64(fnv1a(format!("shard{shard}#{v}").as_bytes())), shard));
+            }
+        }
+        // Ties (identical hashes) resolve to the lower shard index —
+        // deterministic on every platform.
+        points.sort_unstable();
+        ShardMap {
+            shards: n,
+            placement: Placement::Ring(points),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`.
+    pub fn owner(&self, key: &str) -> usize {
+        match &self.placement {
+            Placement::Modulo => key_shard(key, self.shards),
+            Placement::Ring(points) => {
+                let h = mix64(fnv1a(key.as_bytes()));
+                // First point clockwise of the key's position; wrap past
+                // the last point back to the first.
+                let idx = points.partition_point(|&(p, _)| p < h);
+                points[if idx == points.len() { 0 } else { idx }].1
+            }
+        }
+    }
+
+    /// Split `(key, value)`-like items into per-shard groups, preserving
+    /// input order within each group. Groups for unowned shards are empty.
+    pub fn split_by_owner<T>(&self, items: Vec<T>, key_of: impl Fn(&T) -> &str) -> Vec<Vec<T>> {
+        let mut groups: Vec<Vec<T>> = (0..self.shards).map(|_| Vec::new()).collect();
+        for item in items {
+            let shard = self.owner(key_of(&item));
+            groups[shard].push(item);
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vector() {
+        // FNV-1a("hello") — the same published value DetHasher pins.
+        assert_eq!(fnv1a(b"hello"), 0xa430_d846_80aa_bd0b);
+    }
+
+    #[test]
+    fn key_shard_is_stable_and_in_range() {
+        for n in 1..6 {
+            for key in ["a", "b", "acct42"] {
+                assert!(key_shard(key, n) < n);
+                assert_eq!(key_shard(key, n), key_shard(key, n));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_owner_is_deterministic_and_in_range() {
+        for n in [1, 2, 5, 16, 64] {
+            let map = ShardMap::ring(n);
+            let again = ShardMap::ring(n);
+            for i in 0..200 {
+                let key = format!("user{i:08}");
+                let owner = map.owner(&key);
+                assert!(owner < n);
+                assert_eq!(owner, again.owner(&key));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_spreads_keys_roughly_evenly() {
+        let n = 8;
+        let map = ShardMap::ring(n);
+        let mut counts = vec![0usize; n];
+        for i in 0..8000 {
+            counts[map.owner(&format!("user{i:08}"))] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            // Perfect balance would be 1000 per shard; vnodes keep every
+            // shard within a loose 3x band.
+            assert!(
+                (300..=3000).contains(&count),
+                "shard {shard} owns {count} of 8000"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_growth_moves_few_keys() {
+        // Consistent hashing: going from 16 to 17 shards should remap
+        // roughly 1/17th of keys, not most of them.
+        let before = ShardMap::ring(16);
+        let after = ShardMap::ring(17);
+        let total = 10_000;
+        let moved = (0..total)
+            .filter(|i| {
+                let key = format!("user{i:08}");
+                before.owner(&key) != after.owner(&key)
+            })
+            .count();
+        assert!(
+            moved < total / 5,
+            "{moved}/{total} keys moved on 16→17 growth"
+        );
+        // Modulo placement, by contrast, moves nearly everything.
+        let modulo_moved = (0..total)
+            .filter(|i| {
+                let key = format!("user{i:08}");
+                key_shard(&key, 16) != key_shard(&key, 17)
+            })
+            .count();
+        assert!(modulo_moved > moved * 2, "{modulo_moved} vs {moved}");
+    }
+
+    #[test]
+    fn split_by_owner_preserves_order_and_ownership() {
+        let map = ShardMap::ring(4);
+        let pairs: Vec<(String, u64)> = (0..100).map(|i| (format!("k{i}"), i)).collect();
+        let groups = map.split_by_owner(pairs.clone(), |(k, _)| k.as_str());
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 100);
+        for (shard, group) in groups.iter().enumerate() {
+            let mut last = None;
+            for (key, seq) in group {
+                assert_eq!(map.owner(key), shard);
+                assert!(last.is_none_or(|prev| prev < *seq), "order preserved");
+                last = Some(*seq);
+            }
+        }
+    }
+}

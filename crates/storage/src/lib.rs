@@ -21,6 +21,7 @@ pub mod engine;
 pub mod locks;
 pub mod mvcc;
 pub mod proc;
+pub mod router;
 pub mod server;
 pub mod tiered;
 pub mod types;
@@ -31,6 +32,7 @@ pub use engine::{CommitResult, Engine, EngineConfig, OpResult, Resumption, TxFoo
 pub use locks::{Acquire, LockMode, LockTable};
 pub use mvcc::MvccStore;
 pub use proc::{run_proc, ProcOutcome, ProcRegistry, TxHandle};
+pub use router::{deploy_sharded_db, GetTopology, ShardRouter, Topology};
 pub use server::{DbMsg, DbReply, DbRequest, DbResponse, DbServer, DbServerConfig};
 pub use tiered::{TieredConfig, TieredStore};
 pub use types::{AbortReason, IsolationLevel, Key, Timestamp, TxId, Value};

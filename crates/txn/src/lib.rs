@@ -12,6 +12,8 @@
 //!   on the unmodified actor runtime.
 //! - [`deterministic`] — Calvin/Styx-style sequencer-ordered deterministic
 //!   transactions: serializable without locks or aborts.
+//! - [`sharding`] — cross-shard transaction construction: partition-keyed
+//!   operations become 2PC branches via the shared placement map.
 //! - [`checker`] — serializability (DSG cycle detection), exactly-once,
 //!   and atomicity audits over what the system *actually did*.
 //! - [`causal`] — vector clocks and causal delivery (Antipode direction).
@@ -25,6 +27,7 @@ pub mod checker;
 pub mod deterministic;
 pub mod mc_scenarios;
 pub mod saga;
+pub mod sharding;
 pub mod torture;
 pub mod twopc;
 
@@ -39,6 +42,8 @@ pub use deterministic::{
     SubmitTxn, TxnOutcome,
 };
 pub use saga::{SagaDef, SagaOrchestrator, SagaOutcome, SagaStep, StartSaga};
+pub use mc_scenarios::sharded_twopc_mc_scenario;
+pub use sharding::{route_branches, touched_shards, ShardOp};
 pub use torture::{actor_torture_scenario, saga_torture_scenario, twopc_torture_scenario};
 pub use twopc::{
     CoordinatorConfig, DtxOutcome, ParticipantConfig, StartDtx, TwoPcCoordinator, TwoPcParticipant,

@@ -103,27 +103,30 @@ pub fn twopc_payload_fp(p: &Payload) -> Option<u64> {
     }
 }
 
+/// The debit/credit bank registry shared by every 2PC checking world.
+fn bank_registry() -> ProcRegistry {
+    ProcRegistry::new()
+        .with("debit", |tx, args| {
+            let key = args[0].as_str().to_owned();
+            let amount = args[1].as_int();
+            let balance = tx.get(&key).map(|v| v.as_int()).unwrap_or(0);
+            if balance < amount {
+                return Err("insufficient".into());
+            }
+            tx.put(&key, Value::Int(balance - amount));
+            Ok(vec![Value::Int(balance - amount)])
+        })
+        .with("credit", |tx, args| {
+            let key = args[0].as_str().to_owned();
+            let amount = args[1].as_int();
+            let balance = tx.get(&key).map(|v| v.as_int()).unwrap_or(0);
+            tx.put(&key, Value::Int(balance + amount));
+            Ok(vec![Value::Int(balance + amount)])
+        })
+}
+
 fn twopc_world(transfers: u64, amount: i64, participant_config: ParticipantConfig) -> Sim {
-    let bank = || {
-        ProcRegistry::new()
-            .with("debit", |tx, args| {
-                let key = args[0].as_str().to_owned();
-                let amount = args[1].as_int();
-                let balance = tx.get(&key).map(|v| v.as_int()).unwrap_or(0);
-                if balance < amount {
-                    return Err("insufficient".into());
-                }
-                tx.put(&key, Value::Int(balance - amount));
-                Ok(vec![Value::Int(balance - amount)])
-            })
-            .with("credit", |tx, args| {
-                let key = args[0].as_str().to_owned();
-                let amount = args[1].as_int();
-                let balance = tx.get(&key).map(|v| v.as_int()).unwrap_or(0);
-                tx.put(&key, Value::Int(balance + amount));
-                Ok(vec![Value::Int(balance + amount)])
-            })
-    };
+    let bank = bank_registry;
     let mut sim = Sim::new(SimConfig {
         seed: 42,
         network: mc_network(),
@@ -340,6 +343,210 @@ pub fn twopc_txid_reuse_schedule() -> Schedule {
     "d4 d10 c2 r2 d5 x15"
         .parse()
         .expect("pinned schedule parses")
+}
+
+// ---------------------------------------------------------------------------
+// Sharded 2PC (cross-shard transfers through the placement ring)
+// ---------------------------------------------------------------------------
+
+/// For each transfer, a `(debit key, credit key)` pair chosen so the ring
+/// over two shards places the debit key on shard 0 and the credit key on
+/// shard 1 — every transfer is genuinely cross-shard. Deterministic and
+/// draw-free: candidate keys `acct0, acct1, …` are scanned in order.
+pub fn sharded_transfer_keys(transfers: u64) -> Vec<(String, String)> {
+    let map = tca_sim::ShardMap::ring(2);
+    let want = transfers as usize;
+    let mut on0 = Vec::with_capacity(want);
+    let mut on1 = Vec::with_capacity(want);
+    let mut i = 0u64;
+    while on0.len() < want || on1.len() < want {
+        let key = format!("acct{i}");
+        i += 1;
+        match map.owner(&key) {
+            0 if on0.len() < want => on0.push(key),
+            1 if on1.len() < want => on1.push(key),
+            _ => {}
+        }
+    }
+    on0.into_iter().zip(on1).collect()
+}
+
+/// The sharded 2PC checking world: two [`TwoPcParticipant`]s fronting the
+/// two shards of a consistent-hash ring, a coordinator, and `transfers`
+/// cross-shard transfers whose branches are built by
+/// [`crate::sharding::route_branches`] — the same addressing path the
+/// sharded experiments use. Carries full state fingerprints (protocol
+/// digests + both shards' balances); invariants match
+/// [`twopc_mc_scenario`]: no zombie branches at any state, atomicity /
+/// exactly-once / conservation *across shards* and no stuck locks or
+/// in-doubt branches at closed leaves.
+pub fn sharded_twopc_mc_scenario(transfers: u64) -> McScenario {
+    let amount = MC_TWOPC_AMOUNT;
+    let keys = sharded_transfer_keys(transfers);
+    let build_keys = keys.clone();
+    let mut sc = McScenario::new("sharded-twopc", move || {
+        let map = tca_sim::ShardMap::ring(2);
+        let mut sim = Sim::new(SimConfig {
+            seed: 42,
+            network: mc_network(),
+        });
+        let n_s0 = sim.add_node();
+        let n_s1 = sim.add_node();
+        let n_coord = sim.add_node();
+        let s0 = sim.spawn(
+            n_s0,
+            "shard0",
+            TwoPcParticipant::factory_seeded(
+                "s0",
+                ParticipantConfig::default(),
+                bank_registry(),
+                build_keys
+                    .iter()
+                    .map(|(debit, _)| (debit.clone(), Value::Int(MC_ALICE_START)))
+                    .collect(),
+            ),
+        );
+        let s1 = sim.spawn(
+            n_s1,
+            "shard1",
+            TwoPcParticipant::factory_seeded(
+                "s1",
+                ParticipantConfig::default(),
+                bank_registry(),
+                build_keys
+                    .iter()
+                    .map(|(_, credit)| (credit.clone(), Value::Int(MC_BOB_START)))
+                    .collect(),
+            ),
+        );
+        let coordinator = sim.spawn(
+            n_coord,
+            "coordinator",
+            TwoPcCoordinator::factory_with(CoordinatorConfig::default()),
+        );
+        debug_assert_eq!((s0, s1, coordinator), (MC_PA, MC_PB, MC_COORD));
+        let participants = [s0, s1];
+        for (i, (debit_key, credit_key)) in build_keys.iter().enumerate() {
+            let ops: Vec<crate::sharding::ShardOp> = vec![
+                (
+                    debit_key.clone(),
+                    "debit".to_string(),
+                    vec![Value::from(debit_key.clone()), Value::Int(amount)],
+                ),
+                (
+                    credit_key.clone(),
+                    "credit".to_string(),
+                    vec![Value::from(credit_key.clone()), Value::Int(amount)],
+                ),
+            ];
+            let branches = crate::sharding::route_branches(&map, &participants, &ops);
+            debug_assert_eq!(branches[0].0, s0, "debit key owned by shard 0");
+            debug_assert_eq!(branches[1].0, s1, "credit key owned by shard 1");
+            sim.inject(
+                coordinator,
+                Payload::new(RpcRequest {
+                    call_id: i as u64,
+                    body: Payload::new(StartDtx { branches }),
+                }),
+            );
+        }
+        sim
+    });
+    sc.payload_fp = Box::new(twopc_payload_fp);
+    let fp_keys = keys.clone();
+    sc.state_fp = Box::new(move |sim| {
+        let digest = |pid: ProcessId| -> u64 {
+            sim.inspect::<TwoPcParticipant>(pid)
+                .map(|p| p.state_digest())
+                .unwrap_or(0)
+        };
+        let peek = |pid: ProcessId, key: &str| -> u64 {
+            sim.inspect::<TwoPcParticipant>(pid)
+                .and_then(|p| p.engine().peek(key))
+                .map(|v| v.as_int() as u64)
+                .unwrap_or(u64::MAX)
+        };
+        let coord = sim
+            .inspect::<TwoPcCoordinator>(MC_COORD)
+            .map(|c| c.state_digest())
+            .unwrap_or(0);
+        let mut h = fnv_bytes(13, []);
+        for v in [digest(MC_PA), digest(MC_PB), coord] {
+            h = fnv_bytes(h, v.to_le_bytes());
+        }
+        for (debit_key, credit_key) in &fp_keys {
+            h = fnv_bytes(h, peek(MC_PA, debit_key).to_le_bytes());
+            h = fnv_bytes(h, peek(MC_PB, credit_key).to_le_bytes());
+        }
+        Some(h)
+    });
+    sc.step_invariant = Box::new(|sim| {
+        for (pid, name) in [(MC_PA, "s0"), (MC_PB, "s1")] {
+            if let Some(p) = sim.inspect::<TwoPcParticipant>(pid) {
+                let zombies = p.zombie_branches();
+                if zombies > 0 {
+                    return Err(format!(
+                        "{name}: {zombies} branch(es) open for already-decided txids"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    });
+    sc.audit = Box::new(move |sim| {
+        let commits_a = sim.metrics().counter("s0.commits");
+        let commits_b = sim.metrics().counter("s1.commits");
+        if commits_a != commits_b {
+            return Err(format!(
+                "cross-shard atomicity: shard 0 committed {commits_a} branches, \
+                 shard 1 {commits_b}"
+            ));
+        }
+        let peek = |pid: ProcessId, key: &str| -> Result<i64, String> {
+            sim.inspect::<TwoPcParticipant>(pid)
+                .and_then(|p| p.engine().peek(key))
+                .map(|v| v.as_int())
+                .ok_or_else(|| format!("cannot peek {key}"))
+        };
+        for (i, (debit_key, credit_key)) in keys.iter().enumerate() {
+            let debited = MC_ALICE_START - peek(MC_PA, debit_key)?;
+            let credited = peek(MC_PB, credit_key)? - MC_BOB_START;
+            if debited != credited {
+                return Err(format!(
+                    "cross-shard atomicity: transfer {i} debited {debited} on \
+                     shard 0 but credited {credited} on shard 1"
+                ));
+            }
+            if debited != 0 && debited != amount {
+                return Err(format!(
+                    "exactly-once: transfer {i} moved {debited}, not 0 or {amount}"
+                ));
+            }
+        }
+        for (pid, name) in [(MC_PA, "s0"), (MC_PB, "s1")] {
+            let p = sim
+                .inspect::<TwoPcParticipant>(pid)
+                .ok_or_else(|| format!("cannot inspect {name}"))?;
+            if p.in_doubt() != 0 {
+                return Err(format!("{name}: {} branches still in doubt", p.in_doubt()));
+            }
+            if p.engine().active_count() != 0 {
+                return Err(format!(
+                    "{name}: {} open engine transactions (stuck locks)",
+                    p.engine().active_count()
+                ));
+            }
+        }
+        let open = sim
+            .inspect::<TwoPcCoordinator>(MC_COORD)
+            .map(|c| c.open_dtxs())
+            .ok_or("cannot inspect coordinator")?;
+        if open != 0 {
+            return Err(format!("coordinator still tracks {open} transactions"));
+        }
+        Ok(())
+    });
+    sc
 }
 
 // ---------------------------------------------------------------------------

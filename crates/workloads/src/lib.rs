@@ -25,8 +25,8 @@ pub mod tpcc;
 pub mod ycsb;
 
 pub use loadgen::{
-    db_classifier, ClosedLoopConfig, ClosedLoopGen, OpenLoopConfig, OpenLoopGen, RequestFactory,
-    ResponseClassifier,
+    db_classifier, ClosedLoopConfig, ClosedLoopGen, KeyChooser, OpenLoopConfig, OpenLoopGen,
+    RequestFactory, ResponseClassifier,
 };
 pub use overload::{OverloadConfig, OverloadGen, OverloadPhase};
 pub use rmw::{RmwClient, RmwConfig};

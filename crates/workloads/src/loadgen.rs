@@ -16,10 +16,57 @@ use std::rc::Rc;
 use tca_sim::DetHashMap as HashMap;
 
 use tca_messaging::rpc::{RetryPolicy, RpcClient, RpcEvent};
-use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration, SimRng, SimTime};
+use tca_sim::{Boot, Ctx, Payload, Process, ProcessId, SimDuration, SimRng, SimTime, Zipf};
 
 /// Builds one request payload (the body placed inside the RPC envelope).
 pub type RequestFactory = Rc<dyn Fn(&mut SimRng) -> Payload>;
+
+/// Shared entity/partition-key sampler: uniform or Zipfian over `0..n`.
+///
+/// This is YCSB's hot-spot sampler extracted so every workload (TPC-C
+/// warehouses, marketplace products, YCSB records) draws skew the same
+/// way instead of growing private copies. A Zipfian chooser consumes
+/// exactly one RNG draw per pick (one `unit()` inside
+/// [`Zipf::sample`]); a uniform chooser consumes one bounded draw.
+pub struct KeyChooser {
+    n: usize,
+    zipf: Option<Zipf>,
+}
+
+impl KeyChooser {
+    /// Uniform choice over `0..n`.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "chooser over empty domain");
+        KeyChooser { n, zipf: None }
+    }
+
+    /// Zipfian choice over `0..n` with skew `theta` (0 = uniform weights,
+    /// 0.99 = the YCSB default hot spot). Index 0 is the hottest entity.
+    pub fn zipfian(n: usize, theta: f64) -> Self {
+        KeyChooser {
+            n,
+            zipf: Some(Zipf::new(n, theta)),
+        }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the domain is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Draw the next entity index.
+    pub fn pick(&self, rng: &mut SimRng) -> usize {
+        match &self.zipf {
+            Some(zipf) => zipf.sample(rng),
+            None => rng.index(self.n),
+        }
+    }
+}
 
 /// Classifies a reply payload as success (`true`) or failure.
 pub type ResponseClassifier = Rc<dyn Fn(&Payload) -> bool>;

@@ -2,7 +2,8 @@
 //! traditional OLTP metrics and workloads; YCSB is the standard KV mix
 //! used to characterize state-access patterns).
 
-use tca_sim::{SimRng, Zipf};
+use crate::loadgen::KeyChooser;
+use tca_sim::SimRng;
 use tca_storage::{Key, ProcRegistry, Value};
 
 /// The standard YCSB workload letters.
@@ -72,17 +73,19 @@ pub fn registry() -> ProcRegistry {
 /// A sampler bound to one workload letter.
 pub struct YcsbSampler {
     workload: YcsbWorkload,
-    zipf: Zipf,
+    chooser: KeyChooser,
     records: usize,
     inserted: usize,
 }
 
 impl YcsbSampler {
-    /// Build a sampler.
+    /// Build a sampler. Skew comes from the shared [`KeyChooser`]
+    /// (Zipfian with `scale.theta`), so YCSB draws hot keys exactly the
+    /// way the skewed TPC-C and marketplace generators do.
     pub fn new(workload: YcsbWorkload, scale: &YcsbScale) -> Self {
         YcsbSampler {
             workload,
-            zipf: Zipf::new(scale.records, scale.theta),
+            chooser: KeyChooser::zipfian(scale.records, scale.theta),
             records: scale.records,
             inserted: 0,
         }
@@ -94,7 +97,7 @@ impl YcsbSampler {
 
     /// Sample the next operation: `(procedure, args)`.
     pub fn next_txn(&mut self, rng: &mut SimRng) -> (String, Vec<Value>) {
-        let hot = self.zipf.sample(rng);
+        let hot = self.chooser.pick(rng);
         match self.workload {
             YcsbWorkload::A => {
                 if rng.chance(0.5) {
@@ -121,7 +124,7 @@ impl YcsbSampler {
                 if rng.chance(0.95) {
                     // Read latest: most recent inserts are hottest.
                     let newest = self.records + self.inserted;
-                    let back = self.zipf.sample(rng).min(newest.saturating_sub(1));
+                    let back = self.chooser.pick(rng).min(newest.saturating_sub(1));
                     (
                         "ycsb_read".into(),
                         vec![Value::Str(self.key(newest - 1 - back))],

@@ -21,7 +21,7 @@
 set -eu
 
 OUT="${1:-bench_kernel_ci.json}"
-BASELINE="${2:-BENCH_1.json}"
+BASELINE="${2:-BENCH_2.json}"
 WALL_SLACK="${WALL_SLACK:-1.3}"
 
 rm -f "$OUT"

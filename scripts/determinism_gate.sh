@@ -63,3 +63,23 @@ else
     diff "$OUT_R1" "$OUT_R2" >&2 || true
     exit 1
 fi
+
+# Sharded pair: E19 is the only workload exercising the router fleet,
+# ring placement, and the Zipfian key chooser at scale — two runs at a
+# third seed must agree byte-for-byte on throughput, latency percentiles,
+# and per-shard hot-spot shares.
+SSEED=$((SEED + 13))
+OUT_S1="$(mktemp)"
+OUT_S2="$(mktemp)"
+trap 'rm -f "$OUT_A" "$OUT_B" "$OUT_T" "$OUT_R1" "$OUT_R2" "$OUT_S1" "$OUT_S2"' EXIT
+
+./target/release/experiments --seed "$SSEED" e19 >"$OUT_S1"
+./target/release/experiments --seed "$SSEED" e19 >"$OUT_S2"
+
+if cmp -s "$OUT_S1" "$OUT_S2"; then
+    echo "SHARDING-DETERMINISM-OK: two seed=$SSEED E19 runs are byte-identical ($(wc -c <"$OUT_S1") bytes)"
+else
+    echo "SHARDING-DETERMINISM-FAIL: sharded deployment diverged (seed=$SSEED)" >&2
+    diff "$OUT_S1" "$OUT_S2" >&2 || true
+    exit 1
+fi

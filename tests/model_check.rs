@@ -21,8 +21,8 @@
 use tca_sim::mc::{check_schedule, explore};
 use tca_sim::{McConfig, NodeId, Schedule};
 use tca_txn::mc_scenarios::{
-    saga_id_reuse_schedule, saga_mc_scenario, twopc_late_execute_mutation_scenario,
-    twopc_mc_scenario, twopc_txid_reuse_schedule,
+    saga_id_reuse_schedule, saga_mc_scenario, sharded_twopc_mc_scenario,
+    twopc_late_execute_mutation_scenario, twopc_mc_scenario, twopc_txid_reuse_schedule,
 };
 
 fn twopc_cfg() -> McConfig {
@@ -55,6 +55,33 @@ fn checker_verifies_small_twopc_and_agrees_with_closure_audit() {
         check_schedule(&sc, &twopc_cfg(), &Schedule::default()),
         None,
         "fault-free replay must pass the torture audit"
+    );
+}
+
+#[test]
+fn checker_verifies_cross_shard_twopc_world() {
+    // The two-shard transfer world: branches addressed through the
+    // consistent-hash ring (route_branches), one participant per touched
+    // shard. Bounded exploration with a coordinator crash must verify
+    // atomicity/conservation *across shards* at every closed leaf, and the
+    // fault-free schedule must replay clean through the same audit.
+    let sc = sharded_twopc_mc_scenario(1);
+    let report = explore(&sc, &twopc_cfg());
+    assert!(
+        report.verified(),
+        "expected verified sharded 2PC world, got {:?}",
+        report.violation
+    );
+    assert!(report.states > 0, "exploration must visit states");
+    assert!(
+        !report.truncated,
+        "state budget must not truncate this world"
+    );
+    assert!(!report.rng_impure, "ring placement must stay draw-free");
+    assert_eq!(
+        check_schedule(&sc, &twopc_cfg(), &Schedule::default()),
+        None,
+        "fault-free replay must pass the cross-shard audit"
     );
 }
 
@@ -147,6 +174,15 @@ fn deep_exploration_sweep() {
             saga_mc_scenario(1),
             McConfig {
                 max_depth: 8,
+                ..base.clone()
+            },
+        ),
+        (
+            "sharded-2pc×1 depth 9 +1 crash +1 drop",
+            sharded_twopc_mc_scenario(1),
+            McConfig {
+                max_depth: 9,
+                max_drops: 1,
                 ..base.clone()
             },
         ),
