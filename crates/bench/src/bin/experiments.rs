@@ -115,6 +115,11 @@ fn main() {
             "E19: sharded scale-out and hot-shard skew (§3.3/§4.2)",
             ex::e19_sharded_scaleout,
         ),
+        (
+            "e20",
+            "E20: dataflow vs 2PC/saga/actor-txn under contention (§4.2)",
+            ex::e20_dataflow_headtohead,
+        ),
     ];
 
     for (name, title, f) in suite {

@@ -26,7 +26,7 @@ use tca_storage::{
 use tca_txn::causal::{CausalMailbox, CausalMessage, VectorClock};
 use tca_workloads::loadgen::{
     db_classifier, ClosedLoopConfig, ClosedLoopGen, KeyChooser, OpenLoopConfig, OpenLoopGen,
-    RequestFactory,
+    PairChooser, RequestFactory,
 };
 use tca_workloads::rmw::{RmwClient, RmwConfig};
 use tca_workloads::{tpcc, ycsb};
@@ -2085,8 +2085,7 @@ pub fn e19_sharded_scaleout(seed: u64) -> Vec<Row> {
             .map(|i| sim.metrics().counter(&format!("e19-s{i}.calls_ok")))
             .collect();
         let total: u64 = per_shard.iter().sum();
-        let hot_share = per_shard.iter().max().copied().unwrap_or(0) as f64
-            / (total.max(1)) as f64;
+        let hot_share = per_shard.iter().max().copied().unwrap_or(0) as f64 / (total.max(1)) as f64;
         let hist = sim.metrics().histogram("e19.latency");
         Row::new(label)
             .col("ok", ok)
@@ -2119,6 +2118,466 @@ pub fn e19_sharded_scaleout(seed: u64) -> Vec<Row> {
             16,
             128,
             theta,
+        ));
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E20 — deterministic dataflow vs 2PC / saga / actor transactions
+// ---------------------------------------------------------------------------
+
+const E20_ACCOUNTS: usize = 256;
+const E20_START: i64 = 100;
+const E20_AMOUNT: i64 = 1;
+const E20_REQUESTS: u64 = 300;
+const E20_CLIENTS: usize = 16;
+
+fn e20_acct(i: usize) -> String {
+    format!("acct{i:04}")
+}
+
+fn e20_pairs(theta: f64) -> PairChooser {
+    if theta > 0.0 {
+        PairChooser::zipfian(E20_ACCOUNTS, theta)
+    } else {
+        PairChooser::uniform(E20_ACCOUNTS)
+    }
+}
+
+/// The debit/credit registry the 2PC and saga baselines run: missing
+/// accounts materialize at [`E20_START`], matching the deterministic
+/// engine's `transfer_registry`.
+fn e20_bank_registry() -> ProcRegistry {
+    ProcRegistry::new()
+        .with("debit", |tx, args| {
+            let key = args[0].as_str().to_owned();
+            let amount = args[1].as_int();
+            let balance = tx.get(&key).map(|v| v.as_int()).unwrap_or(E20_START);
+            if balance < amount {
+                return Err("insufficient".into());
+            }
+            tx.put(&key, Value::Int(balance - amount));
+            Ok(vec![])
+        })
+        .with("credit", |tx, args| {
+            let key = args[0].as_str().to_owned();
+            let amount = args[1].as_int();
+            let balance = tx.get(&key).map(|v| v.as_int()).unwrap_or(E20_START);
+            tx.put(&key, Value::Int(balance + amount));
+            Ok(vec![])
+        })
+}
+
+/// Closed-loop load generator for actor transactions: like
+/// [`ClosedLoopGen`] but speaking the actor runtime's directory/invoke
+/// protocol instead of a single RPC target.
+struct ActorLoadGen {
+    router: tca_models::actor::ActorRouter,
+    pairs: PairChooser,
+    clients: usize,
+    limit: u64,
+    metric: String,
+    issued: u64,
+    started: HashMap<u64, SimTime>,
+}
+
+impl ActorLoadGen {
+    fn issue(&mut self, ctx: &mut Ctx) {
+        if self.issued >= self.limit {
+            return;
+        }
+        self.issued += 1;
+        let tag = self.issued;
+        let (from, to) = self.pairs.pick(ctx.rng());
+        let txid = format!("{}t{tag}", self.metric);
+        let plan = tca_txn::transfer_plan(&txid, &e20_acct(from), &e20_acct(to), E20_AMOUNT);
+        self.started.insert(tag, ctx.now());
+        self.router.invoke(
+            ctx,
+            tca_models::actor::ActorId::new("txncoord", &txid),
+            "run".to_string(),
+            plan,
+            tag,
+        );
+    }
+
+    fn absorb(&mut self, ctx: &mut Ctx, completions: Vec<tca_models::actor::ActorCompletion>) {
+        for completion in completions {
+            if let Some(start) = self.started.remove(&completion.user_tag) {
+                let elapsed = ctx.now().since(start);
+                ctx.metrics()
+                    .record(&format!("{}.latency", self.metric), elapsed);
+            }
+            let suffix = if completion.result.is_ok() {
+                "ok"
+            } else {
+                "err"
+            };
+            ctx.metrics().incr(&format!("{}.{suffix}", self.metric), 1);
+            self.issue(ctx);
+            if self.issued == self.limit && self.started.is_empty() {
+                let done_us = ctx.now().as_nanos() / 1_000;
+                let key = format!("{}.done_at_us", self.metric);
+                if ctx.metrics().counter(&key) == 0 {
+                    ctx.metrics().incr(&key, done_us);
+                }
+            }
+        }
+    }
+}
+
+impl Process for ActorLoadGen {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        for _ in 0..self.clients {
+            self.issue(ctx);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _from: ProcessId, payload: Payload) {
+        let completions = self.router.on_message(ctx, &payload);
+        self.absorb(ctx, completions);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+        if let Some(completions) = self.router.on_timer(ctx, tag) {
+            self.absorb(ctx, completions);
+        }
+    }
+}
+
+/// E20: the four transaction mechanisms head-to-head on one skewed
+/// multi-key transfer workload (§4.2's central claim, quantified).
+///
+/// Every system runs the same closed loop: [`E20_CLIENTS`] clients,
+/// [`E20_REQUESTS`] transfers between [`PairChooser`]-drawn distinct
+/// account pairs over [`E20_ACCOUNTS`] keys. Two sweeps:
+///
+/// - **Contention** (fixed 4 shards): θ ∈ {uniform, 0.8, 0.99}. Locking
+///   mechanisms (2PC, actor transactions) degrade as the hot head of the
+///   keyspace grows — aborts, retries, and lock-wait p99 — while the
+///   deterministic engine's wave layering keeps admitting every
+///   transaction without aborts.
+/// - **Scale-out** (fixed θ = 0.8): 1 → 4 → 16 shards, showing where
+///   each mechanism's cross-shard coordination cost lands as the fleet
+///   grows.
+///
+/// Measured crossover (§4.2): with short (500 µs) epochs the
+/// deterministic engine wins every regime — highest throughput, lowest
+/// p50, and zero aborts, while 2PC loses 15–42% of transactions to lock
+/// conflicts as θ grows and actor transactions collapse under lock
+/// timeouts. The claim breaks on the *epoch axis*, not the contention
+/// axis: the epoch interval is a hard latency floor (a closed loop
+/// completes ≈ one transaction per client per epoch), so the final rows
+/// lengthen it — at 2 ms epochs 2PC already beats dataflow on p50 for
+/// uncontended traffic, and at 8 ms epochs on throughput too.
+/// Serializability without aborts is bought with batching latency, and
+/// the price is the epoch length.
+pub fn e20_dataflow_headtohead(seed: u64) -> Vec<Row> {
+    use tca_txn::{
+        deploy_dataflow, route_branches, DataflowConfig, ShardOp, StartDtx, SubmitTxn, TxnOutcome,
+    };
+
+    let finish = |sim: &Sim, label: &str| -> Row {
+        let ok = sim.metrics().counter("e20.ok");
+        let done_us = sim.metrics().counter("e20.done_at_us");
+        let seconds = if done_us > 0 {
+            done_us as f64 / 1e6
+        } else {
+            sim.now().as_secs_f64()
+        };
+        let hist = sim.metrics().histogram("e20.latency");
+        Row::new(label)
+            .col("ok", ok)
+            .col("err", sim.metrics().counter("e20.err"))
+            .col("tput/s", format!("{:.0}", ok as f64 / seconds.max(1e-9)))
+            .col(
+                "p50",
+                hist.map_or("-".into(), |h| ms(h.p50().as_nanos() as f64 / 1e6)),
+            )
+            .col(
+                "p99",
+                hist.map_or("-".into(), |h| ms(h.p99().as_nanos() as f64 / 1e6)),
+            )
+    };
+
+    // (a) Deterministic dataflow: submissions to the epoch sequencer.
+    let run_dataflow = |label: &str, shards: usize, theta: f64, epoch_us: u64| -> Row {
+        let mut sim = Sim::with_seed(seed);
+        let shard_nodes: Vec<_> = (0..shards.min(8)).map(|_| sim.add_node()).collect();
+        let n_seq = sim.add_node();
+        let n_load = sim.add_node();
+        let (sequencer, _) = deploy_dataflow(
+            &mut sim,
+            n_seq,
+            &shard_nodes,
+            &tca_txn::transfer_registry(),
+            shards,
+            DataflowConfig {
+                epoch_interval: SimDuration::from_micros(epoch_us),
+                ..DataflowConfig::default()
+            },
+        );
+        let pairs = e20_pairs(theta);
+        let factory: RequestFactory = Rc::new(move |rng| {
+            let (from, to) = pairs.pick(rng);
+            let (from, to) = (e20_acct(from), e20_acct(to));
+            Payload::new(SubmitTxn {
+                proc: "transfer".into(),
+                args: vec![
+                    Value::Str(from.clone()),
+                    Value::Str(to.clone()),
+                    Value::Int(E20_AMOUNT),
+                ],
+                read_keys: vec![from, to],
+            })
+        });
+        let classify = Rc::new(|payload: &Payload| {
+            payload
+                .downcast_ref::<TxnOutcome>()
+                .is_some_and(|o| o.result.is_ok())
+        });
+        sim.spawn(
+            n_load,
+            "load",
+            ClosedLoopGen::factory(
+                sequencer,
+                factory,
+                classify,
+                ClosedLoopConfig {
+                    clients: E20_CLIENTS,
+                    limit: Some(E20_REQUESTS),
+                    metric: "e20".into(),
+                    ..ClosedLoopConfig::default()
+                },
+            ),
+        );
+        sim.run_for(SimDuration::from_secs(60));
+        finish(&sim, label)
+    };
+
+    // (b) 2PC: one participant per shard, branches routed by the same
+    // consistent-hash ring the dataflow engine places keys with.
+    let run_twopc = |label: &str, shards: usize, theta: f64| -> Row {
+        use tca_txn::{
+            CoordinatorConfig, DtxOutcome, ParticipantConfig, TwoPcCoordinator, TwoPcParticipant,
+        };
+        let mut sim = Sim::with_seed(seed);
+        let nodes: Vec<_> = (0..shards.min(8)).map(|_| sim.add_node()).collect();
+        let n_coord = sim.add_node();
+        let n_load = sim.add_node();
+        let participants: Vec<ProcessId> = (0..shards)
+            .map(|i| {
+                sim.spawn(
+                    nodes[i % nodes.len()],
+                    format!("e20p{i}"),
+                    TwoPcParticipant::factory_seeded(
+                        format!("e20p{i}"),
+                        ParticipantConfig::default(),
+                        e20_bank_registry(),
+                        Vec::new(),
+                    ),
+                )
+            })
+            .collect();
+        let coordinator = sim.spawn(
+            n_coord,
+            "coord",
+            TwoPcCoordinator::factory_with(CoordinatorConfig::default()),
+        );
+        let map = tca_sim::ShardMap::ring(shards);
+        let pairs = e20_pairs(theta);
+        let factory: RequestFactory = Rc::new(move |rng| {
+            let (from, to) = pairs.pick(rng);
+            let (from, to) = (e20_acct(from), e20_acct(to));
+            let ops: Vec<ShardOp> = vec![
+                (
+                    from.clone(),
+                    "debit".into(),
+                    vec![Value::Str(from.clone()), Value::Int(E20_AMOUNT)],
+                ),
+                (
+                    to.clone(),
+                    "credit".into(),
+                    vec![Value::Str(to), Value::Int(E20_AMOUNT)],
+                ),
+            ];
+            Payload::new(StartDtx {
+                branches: route_branches(&map, &participants, &ops),
+            })
+        });
+        let classify = Rc::new(|payload: &Payload| {
+            payload
+                .downcast_ref::<DtxOutcome>()
+                .is_some_and(|o| o.committed)
+        });
+        sim.spawn(
+            n_load,
+            "load",
+            ClosedLoopGen::factory(
+                coordinator,
+                factory,
+                classify,
+                ClosedLoopConfig {
+                    clients: E20_CLIENTS,
+                    limit: Some(E20_REQUESTS),
+                    metric: "e20".into(),
+                    ..ClosedLoopConfig::default()
+                },
+            ),
+        );
+        sim.run_for(SimDuration::from_secs(60));
+        finish(&sim, label)
+    };
+
+    // (c) Saga: debit + compensated credit through the shard router — the
+    // BASE baseline (atomicity via compensation, no isolation).
+    let run_saga = |label: &str, shards: usize, theta: f64| -> Row {
+        use tca_txn::{SagaDef, SagaOrchestrator, SagaOutcome, SagaStep, StartSaga};
+        let mut sim = Sim::with_seed(seed);
+        let nodes: Vec<_> = (0..shards.min(8)).map(|_| sim.add_node()).collect();
+        let n_orch = sim.add_node();
+        let n_load = sim.add_node();
+        let (router, _) = deploy_sharded_db(
+            &mut sim,
+            &nodes,
+            "e20g",
+            DbServerConfig::default(),
+            e20_bank_registry,
+            shards,
+        );
+        let def = SagaDef {
+            name: "transfer".into(),
+            steps: vec![
+                SagaStep::new("debit", router, "debit", |v| {
+                    vec![v.get("$0").clone(), v.get("$2").clone()]
+                })
+                .compensate("credit", |v| vec![v.get("$0").clone(), v.get("$2").clone()]),
+                SagaStep::new("credit", router, "credit", |v| {
+                    vec![v.get("$1").clone(), v.get("$2").clone()]
+                }),
+            ],
+        };
+        let orchestrator = sim.spawn(n_orch, "saga", SagaOrchestrator::factory(vec![def]));
+        let pairs = e20_pairs(theta);
+        let factory: RequestFactory = Rc::new(move |rng| {
+            let (from, to) = pairs.pick(rng);
+            Payload::new(StartSaga {
+                saga: "transfer".into(),
+                args: vec![
+                    Value::Str(e20_acct(from)),
+                    Value::Str(e20_acct(to)),
+                    Value::Int(E20_AMOUNT),
+                ],
+            })
+        });
+        let classify = Rc::new(|payload: &Payload| {
+            payload
+                .downcast_ref::<SagaOutcome>()
+                .is_some_and(|o| o.committed)
+        });
+        sim.spawn(
+            n_load,
+            "load",
+            ClosedLoopGen::factory(
+                orchestrator,
+                factory,
+                classify,
+                ClosedLoopConfig {
+                    clients: E20_CLIENTS,
+                    limit: Some(E20_REQUESTS),
+                    metric: "e20".into(),
+                    ..ClosedLoopConfig::default()
+                },
+            ),
+        );
+        sim.run_for(SimDuration::from_secs(60));
+        finish(&sim, label)
+    };
+
+    // (d) Actor transactions: lock-based coordinator actors over
+    // `shards` silos.
+    let run_actor = |label: &str, shards: usize, theta: f64| -> Row {
+        use tca_models::actor::{ActorRouter, ActorSilo, Directory, DirectoryConfig, SiloConfig};
+        let mut sim = Sim::with_seed(seed);
+        let n_dir = sim.add_node();
+        let silo_nodes: Vec<_> = (0..shards.min(8)).map(|_| sim.add_node()).collect();
+        let n_load = sim.add_node();
+        let directory = sim.spawn(n_dir, "dir", Directory::factory(DirectoryConfig::default()));
+        for i in 0..shards {
+            sim.spawn(
+                silo_nodes[i % silo_nodes.len()],
+                format!("silo{i}"),
+                ActorSilo::factory(
+                    tca_txn::transactional_bank_registry(E20_START),
+                    SiloConfig::volatile(directory),
+                ),
+            );
+        }
+        sim.spawn(n_load, "load", move |_| {
+            Box::new(ActorLoadGen {
+                router: ActorRouter::new(directory),
+                pairs: e20_pairs(theta),
+                clients: E20_CLIENTS,
+                limit: E20_REQUESTS,
+                metric: "e20".into(),
+                issued: 0,
+                started: HashMap::default(),
+            })
+        });
+        sim.run_for(SimDuration::from_secs(60));
+        finish(&sim, label)
+    };
+
+    let mut rows = Vec::new();
+    // Contention sweep at a fixed 4-shard fleet.
+    for theta in [0.0, 0.8, 0.99] {
+        rows.push(run_dataflow(
+            &format!("dataflow θ={theta}, 4 shards"),
+            4,
+            theta,
+            500,
+        ));
+        rows.push(run_twopc(&format!("2pc θ={theta}, 4 shards"), 4, theta));
+        rows.push(run_saga(&format!("saga θ={theta}, 4 shards"), 4, theta));
+        rows.push(run_actor(
+            &format!("actor-txn θ={theta}, 4 shards"),
+            4,
+            theta,
+        ));
+    }
+    // Scale-out sweep at fixed θ = 0.8 contention.
+    for shards in [1usize, 4, 16] {
+        rows.push(run_dataflow(
+            &format!("dataflow θ=0.8, {shards} shard(s)"),
+            shards,
+            0.8,
+            500,
+        ));
+        rows.push(run_twopc(
+            &format!("2pc θ=0.8, {shards} shard(s)"),
+            shards,
+            0.8,
+        ));
+        rows.push(run_saga(
+            &format!("saga θ=0.8, {shards} shard(s)"),
+            shards,
+            0.8,
+        ));
+        rows.push(run_actor(
+            &format!("actor-txn θ=0.8, {shards} shard(s)"),
+            shards,
+            0.8,
+        ));
+    }
+    // Where the claim breaks: the epoch interval is the engine's latency
+    // floor. Lengthen it (throughput-oriented batching) and 2PC takes
+    // the latency win on uncontended traffic — compare with the
+    // "2pc θ=0, 4 shards" row above.
+    for epoch_us in [2_000u64, 8_000] {
+        rows.push(run_dataflow(
+            &format!("dataflow θ=0, 4 shards, {}ms epochs", epoch_us / 1000),
+            4,
+            0.0,
+            epoch_us,
         ));
     }
     rows

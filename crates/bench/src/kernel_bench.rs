@@ -504,12 +504,7 @@ struct MiniShard;
 impl Process for MiniShard {
     fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, payload: Payload) {
         let req = payload.expect::<ShardReq>();
-        ctx.send(
-            from,
-            Payload::new(ShardDone {
-                client: req.client,
-            }),
-        );
+        ctx.send(from, Payload::new(ShardDone { client: req.client }));
     }
 }
 

@@ -92,6 +92,26 @@ impl Default for FaultProfile {
 }
 
 /// A deterministic, fully resolved fault schedule.
+///
+/// Generation draws only from the supplied RNG, so equal seeds give
+/// equal plans, and every crash has a restart (and every cut a heal)
+/// before the plan's horizon — scenarios may audit final state
+/// unconditionally after running past it.
+///
+/// ```rust
+/// use tca_sim::{FaultPlan, FaultProfile, Sim, SimDuration, SimRng};
+///
+/// let mut sim = Sim::with_seed(7);
+/// let stable = sim.add_node();
+/// let flaky = sim.add_node();
+///
+/// let mut rng = SimRng::new(7);
+/// let plan = FaultPlan::generate(&mut rng, &FaultProfile::default(), 1);
+/// plan.apply(&mut sim, &[flaky], &[stable, flaky]);
+///
+/// sim.run_for(plan.horizon + SimDuration::from_millis(100));
+/// assert!(sim.node_up(flaky), "resolved plans restart every crashed node");
+/// ```
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     /// Scheduled fault events (times are absolute virtual times).

@@ -570,6 +570,49 @@ struct Explorer<'a> {
 /// Panics if the scenario's network config is not draw-free (randomized
 /// latency, loss or duplication), since choice enumeration replaces all
 /// three and stray draws would silently weaken the pruning soundness.
+///
+/// ```rust
+/// use tca_sim::mc::{explore, McConfig, McScenario};
+/// use tca_sim::{Ctx, NetworkConfig, Payload, Process, ProcessId, Sim, SimConfig, SimDuration};
+///
+/// struct Pong;
+/// impl Process for Pong {
+///     fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, payload: Payload) {
+///         ctx.send(from, payload);
+///     }
+/// }
+/// struct Ping(ProcessId);
+/// impl Process for Ping {
+///     fn on_start(&mut self, ctx: &mut Ctx) {
+///         ctx.send(self.0, Payload::new(1u32));
+///     }
+///     fn on_message(&mut self, ctx: &mut Ctx, _: ProcessId, _: Payload) {
+///         ctx.metrics().incr("ping.done", 1);
+///     }
+/// }
+///
+/// let scenario = McScenario::new("ping-pong", || {
+///     // The checker requires a draw-free network: fixed latency, no faults.
+///     let fixed = SimDuration::from_micros(250);
+///     let mut sim = Sim::new(SimConfig {
+///         seed: 1,
+///         network: NetworkConfig {
+///             latency_min: fixed,
+///             latency_max: fixed,
+///             local_latency: fixed,
+///             drop_prob: 0.0,
+///             dup_prob: 0.0,
+///         },
+///     });
+///     let node = sim.add_node();
+///     let pong = sim.spawn(node, "pong", |_| Box::new(Pong));
+///     sim.spawn(node, "ping", move |_| Box::new(Ping(pong)));
+///     sim
+/// });
+///
+/// let report = explore(&scenario, &McConfig::default());
+/// assert!(report.verified() && report.states > 0 && !report.rng_impure);
+/// ```
 pub fn explore(scenario: &McScenario, config: &McConfig) -> McReport {
     let mut sim = (scenario.build)();
     {

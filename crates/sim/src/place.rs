@@ -93,6 +93,21 @@ impl ShardMap {
 
     /// Consistent-hash ring over `n` shards with [`DEFAULT_VNODES`]
     /// virtual nodes each.
+    ///
+    /// Growing the fleet moves only ~`1/(n+1)` of the keyspace, which is
+    /// why the router uses a ring rather than modulo placement:
+    ///
+    /// ```rust
+    /// use tca_sim::ShardMap;
+    ///
+    /// let eight = ShardMap::ring(8);
+    /// let nine = ShardMap::ring(9);
+    /// let moved = (0..1000)
+    ///     .map(|i| format!("user{i:06}"))
+    ///     .filter(|k| eight.owner(k) != nine.owner(k))
+    ///     .count();
+    /// assert!(moved < 250, "adding a 9th shard moved {moved}/1000 keys");
+    /// ```
     pub fn ring(n: usize) -> Self {
         Self::ring_with(n, DEFAULT_VNODES)
     }

@@ -407,6 +407,44 @@ impl Process for ShardRouter {
 /// `{name}-s{i}` placed round-robin over `nodes`, fronted by a
 /// [`ShardRouter`] (consistent-hash ring placement) on the *last* node.
 /// Returns `(router, shards)`.
+///
+/// ```rust
+/// use tca_sim::{Payload, Sim};
+/// use tca_storage::{
+///     deploy_sharded_db, DbMsg, DbRequest, DbServer, DbServerConfig, ProcRegistry, Value,
+/// };
+///
+/// let mut sim = Sim::with_seed(7);
+/// let nodes = sim.add_nodes(2);
+/// let registry = || {
+///     ProcRegistry::new().with("bump", |tx, args| {
+///         let key = args[0].as_str().to_owned();
+///         let v = tx.get(&key).map(|v| v.as_int()).unwrap_or(0);
+///         tx.put(&key, Value::Int(v + 1));
+///         Ok(vec![Value::Int(v + 1)])
+///     })
+/// };
+/// let (router, shards) =
+///     deploy_sharded_db(&mut sim, &nodes, "kv", DbServerConfig::default(), registry, 4);
+///
+/// // The router forwards each call to the ring owner of its first argument.
+/// for i in 0..16u64 {
+///     let req = DbRequest::Call {
+///         proc: "bump".into(),
+///         args: vec![Value::Str(format!("user{i:03}"))],
+///     };
+///     sim.inject(router, Payload::new(DbMsg { token: i, req }));
+/// }
+/// sim.run_to_quiescence(100_000);
+///
+/// // Every key landed on exactly one shard; together they hold all 16.
+/// let held: usize = shards
+///     .iter()
+///     .filter_map(|&pid| sim.inspect::<DbServer>(pid))
+///     .map(|s| (0..16).filter(|i| s.engine().peek(&format!("user{i:03}")).is_some()).count())
+///     .sum();
+/// assert_eq!(held, 16);
+/// ```
 pub fn deploy_sharded_db(
     sim: &mut Sim,
     nodes: &[NodeId],
@@ -653,7 +691,11 @@ mod tests {
         let nc = sim.add_node();
         sim.spawn(nc, "client", move |_| Box::new(Enveloped { router }));
         sim.run_for(SimDuration::from_millis(20));
-        assert_eq!(sim.metrics().counter("client.ok"), 2, "both replies relayed");
+        assert_eq!(
+            sim.metrics().counter("client.ok"),
+            2,
+            "both replies relayed"
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub type DetProcFn =
 /// Registry of deterministic procedures (shared by all shards).
 #[derive(Clone, Default)]
 pub struct DetRegistry {
-    procs: HashMap<String, DetProcFn>,
+    pub(crate) procs: HashMap<String, DetProcFn>,
 }
 
 impl DetRegistry {
@@ -302,7 +302,13 @@ impl DetShard {
         }
     }
 
-    /// Non-transactional peek for tests.
+    /// Non-transactional peek for tests and audits.
+    ///
+    /// Returns `None` both for keys this shard does not own and for owned
+    /// keys never written — callers auditing balances should fall back to
+    /// the workload's initial value on `None` rather than treating it as
+    /// an error.
+    #[must_use]
     pub fn peek(&self, key: &str) -> Option<&Value> {
         self.state.get(key)
     }
@@ -362,6 +368,45 @@ impl Process for DetShard {
 
 /// Deploy a deterministic transactional dataflow: one sequencer plus `n`
 /// shards over `nodes`. Returns `(sequencer, shards)`.
+///
+/// Clients submit [`SubmitTxn`] requests (inside an `RpcRequest`) to the
+/// sequencer; the shard owning the transaction replies with a
+/// [`TxnOutcome`] once the epoch executes:
+///
+/// ```rust
+/// use tca_sim::{Payload, RpcRequest, Sim, SimDuration};
+/// use tca_storage::Value;
+/// use tca_txn::deterministic::{
+///     deploy_deterministic, transfer_registry, DetShard, SequencerConfig, SubmitTxn,
+/// };
+///
+/// let mut sim = Sim::with_seed(5);
+/// let node = sim.add_node();
+/// let (sequencer, shards) = deploy_deterministic(
+///     &mut sim,
+///     &[node],
+///     &transfer_registry(),
+///     1,
+///     SequencerConfig::default(),
+/// );
+///
+/// let transfer = SubmitTxn {
+///     proc: "transfer".into(),
+///     args: vec![Value::Str("a".into()), Value::Str("b".into()), Value::Int(10)],
+///     read_keys: vec!["a".into(), "b".into()],
+/// };
+/// sim.inject(sequencer, Payload::new(RpcRequest { call_id: 1, body: Payload::new(transfer) }));
+/// sim.run_for(SimDuration::from_millis(5));
+///
+/// // Accounts start at 100; the shard's test peek shows the committed move.
+/// let shard = sim.inspect::<DetShard>(shards[0]).unwrap();
+/// assert_eq!(shard.peek("a"), Some(&Value::Int(90)));
+/// assert_eq!(shard.peek("b"), Some(&Value::Int(110)));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n` is zero or `nodes` is empty.
 pub fn deploy_deterministic(
     sim: &mut tca_sim::Sim,
     nodes: &[tca_sim::NodeId],

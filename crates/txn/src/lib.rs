@@ -12,6 +12,9 @@
 //!   on the unmodified actor runtime.
 //! - [`deterministic`] — Calvin/Styx-style sequencer-ordered deterministic
 //!   transactions: serializable without locks or aborts.
+//! - [`dataflow`] — the scaled-up deterministic engine: epoch batching,
+//!   conflict-wave parallelism over consistent-hash shards, durable
+//!   checkpoint/replay recovery, exactly-once output.
 //! - [`sharding`] — cross-shard transaction construction: partition-keyed
 //!   operations become 2PC branches via the shared placement map.
 //! - [`checker`] — serializability (DSG cycle detection), exactly-once,
@@ -20,10 +23,14 @@
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+// Public functions that can panic must say so: a `# Panics` section is
+// part of the contract for everything this crate exports.
+#![warn(clippy::missing_panics_doc)]
 
 pub mod actor_txn;
 pub mod causal;
 pub mod checker;
+pub mod dataflow;
 pub mod deterministic;
 pub mod mc_scenarios;
 pub mod saga;
@@ -37,14 +44,18 @@ pub use actor_txn::{
 };
 pub use causal::{CausalMailbox, CausalMessage, VectorClock};
 pub use checker::{check_serializability, AtomicityAudit, EffectAudit, SerializabilityVerdict};
+pub use dataflow::{deploy_dataflow, DataflowConfig, DfSequencer, DfShard, DfTxn};
 pub use deterministic::{
     deploy_deterministic, transfer_registry, DetRegistry, DetShard, Sequencer, SequencerConfig,
     SubmitTxn, TxnOutcome,
 };
-pub use saga::{SagaDef, SagaOrchestrator, SagaOutcome, SagaStep, StartSaga};
 pub use mc_scenarios::sharded_twopc_mc_scenario;
+pub use saga::{SagaDef, SagaOrchestrator, SagaOutcome, SagaStep, StartSaga};
 pub use sharding::{route_branches, touched_shards, ShardOp};
-pub use torture::{actor_torture_scenario, saga_torture_scenario, twopc_torture_scenario};
+pub use torture::{
+    actor_torture_scenario, dataflow_torture_scenario, saga_torture_scenario,
+    twopc_torture_scenario,
+};
 pub use twopc::{
     CoordinatorConfig, DtxOutcome, ParticipantConfig, StartDtx, TwoPcCoordinator, TwoPcParticipant,
 };

@@ -20,6 +20,8 @@ use tca_sim::{NetworkConfig, Payload, ProcessId, RpcReply, Sim, SimConfig, SimDu
 use tca_storage::{DbMsg, DbRequest, DbServer, DbServerConfig, ProcRegistry, Value};
 
 use crate::actor_txn::{transactional_bank_registry, transfer_plan};
+use crate::dataflow::{deploy_dataflow, DataflowConfig, DfSequencer, DfShard};
+use crate::deterministic::{transfer_registry, SubmitTxn};
 use crate::saga::{SagaOrchestrator, StartSaga};
 use crate::torture::{actor_driver_factory, checkout_saga, payment_registry, stock_registry};
 use crate::twopc::{
@@ -339,6 +341,11 @@ pub fn twopc_late_execute_mutation_scenario() -> McScenario {
 /// Emitted by [`tca_sim::mc::explore`] over [`twopc_mc_scenario`]`(2)`
 /// with a 1-crash + 1-drop budget at depth 7, then minimized by the
 /// checker's greedy shrinker; kept replayable as a regression pin.
+///
+/// # Panics
+///
+/// Never in practice: the schedule literal is pinned and parsing it is
+/// covered by the regression test that replays it.
 pub fn twopc_txid_reuse_schedule() -> Schedule {
     "d4 d10 c2 r2 d5 x15"
         .parse()
@@ -687,6 +694,11 @@ pub fn saga_mc_scenario(sagas: u64) -> McScenario {
 /// the restarted incarnation recomputes the same boot epoch, reuses the
 /// finished saga's instance id, and the databases dedup the new saga's
 /// steps against the dead saga's cached replies instead of executing.
+///
+/// # Panics
+///
+/// Never in practice: the schedule literal is pinned and parsing it is
+/// covered by the regression test that replays it.
 pub fn saga_id_reuse_schedule() -> Schedule {
     // Deliver the seeds and the first checkout, drain its step/reply
     // chain lowest-seq-first (the whole saga completes at virtual t=0
@@ -775,6 +787,199 @@ pub fn actor_mc_scenario(transfers: u64) -> McScenario {
             return Err(format!(
                 "conservation: balances sum to {read_sum}, expected {}",
                 2 * MC_ACTOR_BALANCE
+            ));
+        }
+        Ok(())
+    });
+    sc
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic dataflow (epoch-batched engine)
+// ---------------------------------------------------------------------------
+
+/// Per-account starting balance in the dataflow checking world (the
+/// [`transfer_registry`] default).
+pub const MC_DF_START: i64 = 100;
+/// Per-transfer amount in the dataflow checking world.
+pub const MC_DF_AMOUNT: i64 = 10;
+/// Shard 0's pid in the dataflow world (spawn order is fixed:
+/// [`deploy_dataflow`] spawns shards first, then the sequencer).
+pub const MC_DF_S0: ProcessId = ProcessId(0);
+/// Shard 1's pid in the dataflow world.
+pub const MC_DF_S1: ProcessId = ProcessId(1);
+/// The sequencer's pid in the dataflow world.
+pub const MC_DF_SEQ: ProcessId = ProcessId(2);
+
+/// The dataflow checking world: the epoch-batched deterministic engine
+/// ([`deploy_dataflow`]) over two ring shards plus a sequencer,
+/// `transfers` genuinely cross-shard transfers injected at time zero
+/// (each on its own [`sharded_transfer_keys`] pair). Zero virtual
+/// execution cost and a one-epoch checkpoint cadence keep the schedule
+/// depth small while still exercising the snapshot + journal-replay
+/// recovery path on every crash the checker injects.
+///
+/// Runs opaque (no state fingerprints), like the saga and actor worlds:
+/// depth-bounded DFS with sleep-set POR. The step invariant holds the
+/// engine's two monotone exactly-once bounds at *every* state; the
+/// terminal audit checks exactly-once emission, per-transfer atomicity,
+/// fleet-wide conservation, and convergence (every shard durably applied
+/// through the sequencer's last epoch, watermark caught up, nothing in
+/// flight).
+pub fn dataflow_mc_scenario(transfers: u64) -> McScenario {
+    let keys = sharded_transfer_keys(transfers);
+    let build_keys = keys.clone();
+    let mut sc = McScenario::new("dataflow", move || {
+        let mut sim = Sim::new(SimConfig {
+            seed: 42,
+            network: mc_network(),
+        });
+        let n_s0 = sim.add_node();
+        let n_s1 = sim.add_node();
+        let n_seq = sim.add_node();
+        let (sequencer, shard_pids) = deploy_dataflow(
+            &mut sim,
+            n_seq,
+            &[n_s0, n_s1],
+            &transfer_registry(),
+            2,
+            DataflowConfig {
+                // Inline wave advance (no cost timers) and a checkpoint
+                // every epoch: fewer choices per schedule, and every
+                // crash recovers through the full snapshot+replay path.
+                exec_cost: SimDuration::ZERO,
+                checkpoint_every: 1,
+                ..DataflowConfig::default()
+            },
+        );
+        debug_assert_eq!(
+            (shard_pids[0], shard_pids[1], sequencer),
+            (MC_DF_S0, MC_DF_S1, MC_DF_SEQ)
+        );
+        for (i, (debit_key, credit_key)) in build_keys.iter().enumerate() {
+            sim.inject(
+                sequencer,
+                Payload::new(RpcRequest {
+                    call_id: i as u64,
+                    body: Payload::new(SubmitTxn {
+                        proc: "transfer".into(),
+                        args: vec![
+                            Value::from(debit_key.clone()),
+                            Value::from(credit_key.clone()),
+                            Value::Int(MC_DF_AMOUNT),
+                        ],
+                        read_keys: vec![debit_key.clone(), credit_key.clone()],
+                    }),
+                }),
+            );
+        }
+        sim
+    });
+    sc.step_invariant = Box::new(|sim| {
+        // Exactly-once, held at every intermediate state: outcomes are
+        // emitted at most once per sequenced transaction, so the emission
+        // counter can never pass the submission counter...
+        let submitted = sim.metrics().counter("df.submitted");
+        let completed = sim.metrics().counter("df.completed");
+        if completed > submitted {
+            return Err(format!(
+                "exactly-once: {completed} outcomes emitted for {submitted} submissions"
+            ));
+        }
+        // ...and a shard can never durably apply an epoch the sequencer
+        // has not durably closed (the epoch journal precedes broadcast).
+        if let Some(seq) = sim.inspect::<DfSequencer>(MC_DF_SEQ) {
+            let last = seq.last_epoch();
+            for (pid, name) in [(MC_DF_S0, "shard 0"), (MC_DF_S1, "shard 1")] {
+                if let Some(shard) = sim.inspect::<DfShard>(pid) {
+                    if shard.applied_epoch() > last {
+                        return Err(format!(
+                            "{name} applied epoch {} past the sequencer's last closed \
+                             epoch {last}",
+                            shard.applied_epoch()
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    });
+    sc.audit = Box::new(move |sim| {
+        // The checker may drop an injected submission, so audit against
+        // what the sequencer actually admitted, not the injected count.
+        let submitted = sim.metrics().counter("df.submitted");
+        let completed = sim.metrics().counter("df.completed");
+        if completed != submitted {
+            return Err(format!(
+                "exactly-once: {completed} outcomes emitted for {submitted} submissions"
+            ));
+        }
+        let ok = sim.metrics().counter("df.ok");
+        let err = sim.metrics().counter("df.err");
+        if err != 0 || ok != completed {
+            return Err(format!(
+                "every admitted transfer is covered and must commit: \
+                 ok={ok} err={err} of {completed}"
+            ));
+        }
+        // Only the ring owner of a key stores it: scan both shards.
+        let peek = |key: &str| -> i64 {
+            [MC_DF_S0, MC_DF_S1]
+                .iter()
+                .find_map(|&pid| {
+                    sim.inspect::<DfShard>(pid)
+                        .and_then(|s| s.peek(key))
+                        .map(Value::as_int)
+                })
+                .unwrap_or(MC_DF_START)
+        };
+        let mut total = 0i64;
+        for (i, (debit_key, credit_key)) in keys.iter().enumerate() {
+            let debited = MC_DF_START - peek(debit_key);
+            let credited = peek(credit_key) - MC_DF_START;
+            if debited != credited {
+                return Err(format!(
+                    "atomicity: transfer {i} debited {debited} on shard 0 but \
+                     credited {credited} on shard 1"
+                ));
+            }
+            if debited != 0 && debited != MC_DF_AMOUNT {
+                return Err(format!(
+                    "exactly-once: transfer {i} moved {debited}, not 0 or {MC_DF_AMOUNT}"
+                ));
+            }
+            total += peek(debit_key) + peek(credit_key);
+        }
+        let expected = 2 * keys.len() as i64 * MC_DF_START;
+        if total != expected {
+            return Err(format!(
+                "conservation: balances sum to {total}, expected {expected}"
+            ));
+        }
+        // Convergence: every shard durably applied through the last
+        // closed epoch, the fleet watermark caught up, nothing in flight.
+        let seq = sim
+            .inspect::<DfSequencer>(MC_DF_SEQ)
+            .ok_or("cannot inspect sequencer")?;
+        let last = seq.last_epoch();
+        for (pid, name) in [(MC_DF_S0, "shard 0"), (MC_DF_S1, "shard 1")] {
+            let shard = sim
+                .inspect::<DfShard>(pid)
+                .ok_or_else(|| format!("cannot inspect {name}"))?;
+            if shard.applied_epoch() != last {
+                return Err(format!(
+                    "{name} applied through epoch {} of {last}",
+                    shard.applied_epoch()
+                ));
+            }
+            if !shard.is_idle() {
+                return Err(format!("{name} still has an epoch in flight"));
+            }
+        }
+        if seq.fleet_watermark() != last {
+            return Err(format!(
+                "watermark stuck at {} with last epoch {last}",
+                seq.fleet_watermark()
             ));
         }
         Ok(())

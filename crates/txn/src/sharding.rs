@@ -23,6 +23,12 @@ pub type ShardOp = (String, String, Vec<Value>);
 /// [`crate::twopc::StartDtx`]`::branches`; the coordinator then runs
 /// prepare/commit across exactly the set of shards the transaction
 /// touches.
+///
+/// # Panics
+///
+/// Panics unless `participants` has exactly one entry per shard of
+/// `map` — a mismatch would silently address branches to the wrong
+/// fleet.
 pub fn route_branches(
     map: &ShardMap,
     participants: &[ProcessId],

@@ -28,6 +28,8 @@ use tca_sim::{Boot, Ctx, FaultPlan, Payload, Process, ProcessId, Sim, SimDuratio
 use tca_storage::{DbMsg, DbRequest, DbServer, DbServerConfig, ProcRegistry, Value};
 
 use crate::actor_txn::{transactional_bank_registry, transfer_plan};
+use crate::dataflow::{deploy_dataflow, DataflowConfig, DfSequencer, DfShard};
+use crate::deterministic::{transfer_registry, SubmitTxn};
 use crate::saga::{SagaDef, SagaOrchestrator, SagaStep, StartSaga};
 use crate::twopc::{
     CoordinatorConfig, ParticipantConfig, StartDtx, TwoPcCoordinator, TwoPcParticipant,
@@ -399,6 +401,161 @@ pub fn saga_torture_scenario(seed: u64, plan: &FaultPlan) -> Result<(), String> 
         if active != 0 {
             return Err(format!("{name} has {active} open engine transactions"));
         }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-batched deterministic dataflow
+// ---------------------------------------------------------------------------
+
+const DF_SHARDS: usize = 3;
+const DF_CHAIN: u64 = 10;
+const DF_AMOUNT: i64 = 10;
+const DF_START: i64 = 100;
+
+/// Dataflow torture: the epoch-batched engine under shard crash-restart
+/// cycles, partitions, and ambient loss/duplication. Three shards own the
+/// keyspace through the engine's consistent-hash ring; the sequencer node
+/// is protected (its epoch journal makes it restartable, but a volatile
+/// submission buffer lost to a crash would under-count the audit's
+/// "every submission terminal" expectation). Transfers chain through the
+/// accounts so most epochs span shards, plus one deterministic overdraft
+/// so the logic-failure path runs even on the benign plan.
+///
+/// After heal + grace: every submitted transaction produced exactly one
+/// outcome (exactly-once output — emissions are counted at the wire, so
+/// a re-emitted epoch would overshoot), money is conserved across the
+/// fleet, every shard has durably applied the sequencer's last epoch,
+/// and no shard still has an epoch in flight.
+pub fn dataflow_torture_scenario(seed: u64, plan: &FaultPlan) -> Result<(), String> {
+    let total = DF_CHAIN + 1; // chained transfers + one overdraft
+    let mut sim = Sim::with_seed(seed);
+    let n_seq = sim.add_node();
+    let shard_nodes: Vec<_> = (0..DF_SHARDS).map(|_| sim.add_node()).collect();
+    let (sequencer, shard_pids) = deploy_dataflow(
+        &mut sim,
+        n_seq,
+        &shard_nodes,
+        &transfer_registry(),
+        DF_SHARDS,
+        DataflowConfig::default(),
+    );
+    // Shards crash and restart (checkpoint + journal replay is the claim
+    // under test); partitions may cut any link, including the sequencer's.
+    let mut partition_nodes = shard_nodes.clone();
+    partition_nodes.push(n_seq);
+    plan.apply(&mut sim, &shard_nodes, &partition_nodes);
+
+    let submit = |from: String, to: String, amount: i64| SubmitTxn {
+        proc: "transfer".into(),
+        args: vec![
+            Value::Str(from.clone()),
+            Value::Str(to.clone()),
+            Value::Int(amount),
+        ],
+        read_keys: vec![from, to],
+    };
+    // Chain acct0 → acct1 → … across the first 3/4 of the fault window
+    // (injections bypass the network and the sequencer never crashes, so
+    // every submission enters the global order exactly once)…
+    let span = plan.horizon.as_nanos() * 3 / 4;
+    for i in 0..DF_CHAIN {
+        let at = 1_000_000 + span * i / total;
+        sim.inject_at(
+            SimTime::from_nanos(at),
+            sequencer,
+            Payload::new(RpcRequest {
+                call_id: i,
+                body: Payload::new(submit(
+                    format!("acct{i}"),
+                    format!("acct{}", i + 1),
+                    DF_AMOUNT,
+                )),
+            }),
+        );
+    }
+    // … plus one transfer no balance can cover: the deterministic Err.
+    sim.inject_at(
+        SimTime::from_nanos(1_000_000 + span * DF_CHAIN / total),
+        sequencer,
+        Payload::new(RpcRequest {
+            call_id: DF_CHAIN,
+            body: Payload::new(submit("acct0".into(), "acct3".into(), 10_000)),
+        }),
+    );
+    sim.run_until(SimTime::ZERO + plan.horizon + GRACE);
+
+    // --- Audits ---
+    let submitted = counter(&sim, "df.submitted");
+    if submitted != total {
+        return Err(format!(
+            "sequencer saw {submitted} of {total} submissions (it never crashes — all must arrive)"
+        ));
+    }
+    // Exactly-once output: every transaction terminal, no re-emission.
+    let completed = counter(&sim, "df.completed");
+    if completed != total {
+        return Err(format!(
+            "exactly-once: {completed} outcomes emitted for {total} submissions"
+        ));
+    }
+    let ok = counter(&sim, "df.ok");
+    let err = counter(&sim, "df.err");
+    let benign = plan.events.is_empty() && plan.drop_prob == 0.0 && plan.dup_prob == 0.0;
+    if benign && (ok != DF_CHAIN || err != 1) {
+        return Err(format!(
+            "benign plan must commit all {DF_CHAIN} transfers and fail the overdraft, \
+             got ok={ok} err={err}"
+        ));
+    }
+    // Conservation across the fleet: only the ring owner of a key stores
+    // it, so scan every shard and take the one copy.
+    let peek = |key: &str| -> i64 {
+        shard_pids
+            .iter()
+            .find_map(|&pid| {
+                sim.inspect::<DfShard>(pid)
+                    .and_then(|s| s.peek(key))
+                    .map(Value::as_int)
+            })
+            .unwrap_or(DF_START)
+    };
+    let total_money: i64 = (0..=DF_CHAIN).map(|i| peek(&format!("acct{i}"))).sum();
+    let expected = (DF_CHAIN + 1) as i64 * DF_START;
+    if total_money != expected {
+        return Err(format!(
+            "conservation: balances sum to {total_money}, expected {expected}"
+        ));
+    }
+    // Convergence: every shard durably applied the last closed epoch and
+    // holds nothing in flight; the watermark caught up with the log head.
+    let last = sim
+        .inspect::<DfSequencer>(sequencer)
+        .map(DfSequencer::last_epoch)
+        .ok_or("cannot inspect sequencer")?;
+    for (i, &pid) in shard_pids.iter().enumerate() {
+        let shard = sim
+            .inspect::<DfShard>(pid)
+            .ok_or_else(|| format!("cannot inspect shard {i}"))?;
+        if shard.applied_epoch() != last {
+            return Err(format!(
+                "shard {i} applied epoch {} but the sequencer closed {last}",
+                shard.applied_epoch()
+            ));
+        }
+        if !shard.is_idle() {
+            return Err(format!("shard {i} still has an epoch in flight"));
+        }
+    }
+    let watermark = sim
+        .inspect::<DfSequencer>(sequencer)
+        .map(DfSequencer::fleet_watermark)
+        .ok_or("cannot inspect sequencer")?;
+    if watermark != last {
+        return Err(format!(
+            "watermark {watermark} never caught up with last epoch {last}"
+        ));
     }
     Ok(())
 }

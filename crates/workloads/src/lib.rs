@@ -26,7 +26,7 @@ pub mod ycsb;
 
 pub use loadgen::{
     db_classifier, ClosedLoopConfig, ClosedLoopGen, KeyChooser, OpenLoopConfig, OpenLoopGen,
-    RequestFactory, ResponseClassifier,
+    PairChooser, RequestFactory, ResponseClassifier,
 };
 pub use overload::{OverloadConfig, OverloadGen, OverloadPhase};
 pub use rmw::{RmwClient, RmwConfig};

@@ -28,6 +28,18 @@ pub type RequestFactory = Rc<dyn Fn(&mut SimRng) -> Payload>;
 /// way instead of growing private copies. A Zipfian chooser consumes
 /// exactly one RNG draw per pick (one `unit()` inside
 /// [`Zipf::sample`]); a uniform chooser consumes one bounded draw.
+///
+/// ```rust
+/// use tca_sim::SimRng;
+/// use tca_workloads::loadgen::KeyChooser;
+///
+/// let mut rng = SimRng::new(7);
+/// let hot = KeyChooser::zipfian(1000, 0.99); // index 0 is the hottest
+/// let picks: Vec<usize> = (0..200).map(|_| hot.pick(&mut rng)).collect();
+/// assert!(picks.iter().all(|&i| i < 1000));
+/// let head = picks.iter().filter(|&&i| i == 0).count();
+/// assert!(head > 20, "hot key drawn only {head}/200 times");
+/// ```
 pub struct KeyChooser {
     n: usize,
     zipf: Option<Zipf>,
@@ -64,6 +76,76 @@ impl KeyChooser {
         match &self.zipf {
             Some(zipf) => zipf.sample(rng),
             None => rng.index(self.n),
+        }
+    }
+}
+
+/// Draws `(from, to)` pairs of *distinct* entity indices for multi-key
+/// transactions (transfers, order+stock pairs) from one shared skew
+/// distribution.
+///
+/// Both ends of the pair come from the same [`KeyChooser`], so under a
+/// Zipfian skew most pairs touch the hot head of the keyspace — two
+/// transactions then conflict with probability ≈ the head mass squared,
+/// which is the contention regime the E20 head-to-head sweeps. Distinct
+/// endpoints are enforced by re-drawing the second index (a rejection
+/// loop), so one `pick` consumes a variable but deterministic number of
+/// RNG draws; use it only for workloads with their own RNG stream.
+///
+/// ```rust
+/// use tca_sim::SimRng;
+/// use tca_workloads::loadgen::PairChooser;
+///
+/// let mut rng = SimRng::new(7);
+/// let pairs = PairChooser::zipfian(16, 0.99);
+/// for _ in 0..100 {
+///     let (from, to) = pairs.pick(&mut rng);
+///     assert!(from != to && from < 16 && to < 16);
+/// }
+/// ```
+pub struct PairChooser {
+    chooser: KeyChooser,
+}
+
+impl PairChooser {
+    /// Uniform pairs over `0..n`. Panics if `n < 2` (no distinct pair
+    /// exists).
+    pub fn uniform(n: usize) -> Self {
+        assert!(n >= 2, "pair chooser needs at least two entities");
+        PairChooser {
+            chooser: KeyChooser::uniform(n),
+        }
+    }
+
+    /// Zipfian pairs over `0..n` with skew `theta` (0 = uniform weights,
+    /// 0.99 = the YCSB hot spot). Panics if `n < 2`.
+    pub fn zipfian(n: usize, theta: f64) -> Self {
+        assert!(n >= 2, "pair chooser needs at least two entities");
+        PairChooser {
+            chooser: KeyChooser::zipfian(n, theta),
+        }
+    }
+
+    /// Domain size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chooser.len()
+    }
+
+    /// True when the domain is empty (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chooser.is_empty()
+    }
+
+    /// Draw the next `(from, to)` pair, `from != to`.
+    pub fn pick(&self, rng: &mut SimRng) -> (usize, usize) {
+        let from = self.chooser.pick(rng);
+        loop {
+            let to = self.chooser.pick(rng);
+            if to != from {
+                return (from, to);
+            }
         }
     }
 }
@@ -371,6 +453,35 @@ mod tests {
                 },
             })
         })
+    }
+
+    #[test]
+    fn pair_chooser_returns_distinct_skewed_pairs() {
+        let mut sim = Sim::with_seed(99);
+        let node = sim.add_node();
+        struct Probe;
+        impl Process for Probe {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                let uniform = PairChooser::uniform(16);
+                let hot = PairChooser::zipfian(16, 0.99);
+                let mut hot_hits = 0;
+                for _ in 0..200 {
+                    let (a, b) = uniform.pick(ctx.rng());
+                    assert_ne!(a, b, "uniform pair must be distinct");
+                    let (a, b) = hot.pick(ctx.rng());
+                    assert_ne!(a, b, "skewed pair must be distinct");
+                    if a == 0 || b == 0 {
+                        hot_hits += 1;
+                    }
+                }
+                // θ=0.99 concentrates mass on index 0: the hot entity must
+                // appear in far more pairs than the uniform 1/8 would give.
+                assert!(hot_hits > 60, "hot entity in only {hot_hits}/200 pairs");
+            }
+            fn on_message(&mut self, _: &mut Ctx, _: ProcessId, _: Payload) {}
+        }
+        sim.spawn(node, "probe", |_| Box::new(Probe));
+        sim.run_for(SimDuration::from_millis(1));
     }
 
     #[test]

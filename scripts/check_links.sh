@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Markdown link check: every relative link target referenced from the
+# top-level docs must exist in the repository. External (http/https) and
+# intra-page (#anchor) links are skipped — this gate is about files that
+# get renamed or deleted while prose still points at them.
+#
+# Usage: scripts/check_links.sh  (from the repo root)
+set -eu
+
+fail=0
+for doc in README.md ARCHITECTURE.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md; do
+    [ -f "$doc" ] || continue
+    # Extract inline link targets: [text](target)
+    targets=$(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//' || true)
+    for t in $targets; do
+        case "$t" in
+        http://* | https://* | "#"*) continue ;;
+        esac
+        # Strip any #anchor suffix before checking the file exists.
+        file=${t%%#*}
+        [ -n "$file" ] || continue
+        if [ ! -e "$file" ]; then
+            echo "BROKEN LINK: $doc -> $t" >&2
+            fail=1
+        fi
+    done
+done
+
+# Prose references to named repo files (backticked) should resolve too:
+# `scripts/foo.sh`, `tests/bar.rs`, `crates/x/src/y.rs`.
+for doc in README.md ARCHITECTURE.md DESIGN.md EXPERIMENTS.md; do
+    [ -f "$doc" ] || continue
+    refs=$(grep -o '`\(scripts\|tests\|crates\|examples\)/[A-Za-z0-9_./-]*`' "$doc" | tr -d '`' || true)
+    for r in $refs; do
+        if [ ! -e "$r" ]; then
+            echo "BROKEN FILE REFERENCE: $doc -> $r" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "LINK-CHECK-FAIL: fix the references above" >&2
+    exit 1
+fi
+echo "LINK-CHECK-OK: all markdown links and file references resolve"

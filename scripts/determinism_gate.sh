@@ -83,3 +83,23 @@ else
     diff "$OUT_S1" "$OUT_S2" >&2 || true
     exit 1
 fi
+
+# Dataflow pair: E20 is the only workload exercising the epoch-batched
+# deterministic engine head-to-head against 2PC, sagas, and actor
+# transactions, plus the multi-key PairChooser's rejection sampling — two
+# runs at a fourth seed must agree byte-for-byte.
+DSEED=$((SEED + 17))
+OUT_D1="$(mktemp)"
+OUT_D2="$(mktemp)"
+trap 'rm -f "$OUT_A" "$OUT_B" "$OUT_T" "$OUT_R1" "$OUT_R2" "$OUT_S1" "$OUT_S2" "$OUT_D1" "$OUT_D2"' EXIT
+
+./target/release/experiments --seed "$DSEED" e20 >"$OUT_D1"
+./target/release/experiments --seed "$DSEED" e20 >"$OUT_D2"
+
+if cmp -s "$OUT_D1" "$OUT_D2"; then
+    echo "DATAFLOW-DETERMINISM-OK: two seed=$DSEED E20 runs are byte-identical ($(wc -c <"$OUT_D1") bytes)"
+else
+    echo "DATAFLOW-DETERMINISM-FAIL: dataflow head-to-head diverged (seed=$DSEED)" >&2
+    diff "$OUT_D1" "$OUT_D2" >&2 || true
+    exit 1
+fi

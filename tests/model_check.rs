@@ -21,7 +21,7 @@
 use tca_sim::mc::{check_schedule, explore};
 use tca_sim::{McConfig, NodeId, Schedule};
 use tca_txn::mc_scenarios::{
-    saga_id_reuse_schedule, saga_mc_scenario, sharded_twopc_mc_scenario,
+    dataflow_mc_scenario, saga_id_reuse_schedule, saga_mc_scenario, sharded_twopc_mc_scenario,
     twopc_late_execute_mutation_scenario, twopc_mc_scenario, twopc_txid_reuse_schedule,
 };
 
@@ -82,6 +82,44 @@ fn checker_verifies_cross_shard_twopc_world() {
         check_schedule(&sc, &twopc_cfg(), &Schedule::default()),
         None,
         "fault-free replay must pass the cross-shard audit"
+    );
+}
+
+#[test]
+fn checker_verifies_dataflow_world_with_shard_crashes() {
+    // The epoch-batched dataflow world: one cross-shard transfer through
+    // the sequencer, with a crash budget on shard 0's node so the
+    // exploration reaches crash/recovery states *mid-epoch* — after the
+    // batch arrives but before the epoch is durably applied. The
+    // checkpoint + journal-replay + re-ack recovery path must keep
+    // exactly-once emission, atomicity, and conservation green at every
+    // closed leaf. Runs opaque, so depth stays small in debug mode; the
+    // CI model-check job pushes the same world deeper.
+    let sc = dataflow_mc_scenario(1);
+    let cfg = McConfig {
+        max_depth: 6,
+        max_crashes: 1,
+        crashable: vec![NodeId(0)],
+        ..McConfig::default()
+    };
+    let report = explore(&sc, &cfg);
+    assert!(
+        report.verified(),
+        "expected verified dataflow world, got {:?}",
+        report.violation
+    );
+    assert!(report.states > 0, "exploration must visit states");
+    assert!(
+        !report.truncated,
+        "state budget must not truncate this world"
+    );
+    assert!(!report.rng_impure, "dataflow engine must stay draw-free");
+    // Cross-validation: the fault-free schedule replays clean through the
+    // same audit the torture sweep uses.
+    assert_eq!(
+        check_schedule(&sc, &cfg, &Schedule::default()),
+        None,
+        "fault-free replay must pass the dataflow audit"
     );
 }
 
@@ -183,6 +221,15 @@ fn deep_exploration_sweep() {
             McConfig {
                 max_depth: 9,
                 max_drops: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "dataflow×1 depth 7 +1 crash on either shard",
+            dataflow_mc_scenario(1),
+            McConfig {
+                max_depth: 7,
+                crashable: vec![NodeId(0), NodeId(1)],
                 ..base.clone()
             },
         ),
