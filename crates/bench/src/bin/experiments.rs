@@ -120,6 +120,11 @@ fn main() {
             "E20: dataflow vs 2PC/saga/actor-txn under contention (§4.2)",
             ex::e20_dataflow_headtohead,
         ),
+        (
+            "e21",
+            "E21: exactly-once workflows vs naive retries (§4.2/[Beldi])",
+            ex::e21_exactly_once_workflows,
+        ),
     ];
 
     for (name, title, f) in suite {

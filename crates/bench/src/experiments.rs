@@ -2,7 +2,7 @@
 //!
 //! The paper is a tutorial with a single figure (the taxonomy) and no
 //! result tables, so each experiment regenerates either the figure (F1)
-//! or one of the paper's explicit comparative claims (E1–E16). Every
+//! or one of the paper's explicit comparative claims (E1–E21). Every
 //! function is deterministic given its seed and returns the rows it
 //! prints, so `EXPERIMENTS.md` can quote them verbatim.
 
@@ -2247,9 +2247,9 @@ impl Process for ActorLoadGen {
 /// E20: the four transaction mechanisms head-to-head on one skewed
 /// multi-key transfer workload (§4.2's central claim, quantified).
 ///
-/// Every system runs the same closed loop: [`E20_CLIENTS`] clients,
-/// [`E20_REQUESTS`] transfers between [`PairChooser`]-drawn distinct
-/// account pairs over [`E20_ACCOUNTS`] keys. Two sweeps:
+/// Every system runs the same closed loop: `E20_CLIENTS` clients,
+/// `E20_REQUESTS` transfers between [`PairChooser`]-drawn distinct
+/// account pairs over `E20_ACCOUNTS` keys. Two sweeps:
 ///
 /// - **Contention** (fixed 4 shards): θ ∈ {uniform, 0.8, 0.99}. Locking
 ///   mechanisms (2PC, actor transactions) degrade as the hot head of the
@@ -2578,6 +2578,121 @@ pub fn e20_dataflow_headtohead(seed: u64) -> Vec<Row> {
             4,
             0.0,
             epoch_us,
+        ));
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E21 — exactly-once workflows vs naive retries (§4.2, Beldi direction)
+// ---------------------------------------------------------------------------
+
+/// Chains per run in E21.
+const E21_CHAINS: u64 = 6;
+/// Hops per chain in E21.
+const E21_STEPS: u32 = 4;
+
+/// E21: what exactly-once costs, and what its absence costs (§4.2).
+///
+/// The same fleet of `E21_CHAINS` disjoint transfer chains
+/// ([`tca_workloads::ChainWorkload`]) runs twice per fault level: once
+/// on the full
+/// workflow runtime (durable intents, idempotence table, `wf_guard`
+/// fence) and once on the *naive retry baseline* the paper's developers
+/// hand-roll (same orchestrator re-drives, no dedup anywhere). Every run
+/// crashes a worker node mid-stream and restarts it; the fault axis adds
+/// ambient message loss on top.
+///
+/// The marker keys count every committed application of every step, so
+/// the `dbl-applied` column is ground truth, not an inference: the naive
+/// baseline accrues double-applies as soon as a step's commit races its
+/// lost reply (the orchestrator re-drives, the worker re-executes), and
+/// the count grows with the loss rate — while the workflow runtime pins
+/// every marker at exactly 1 through the same faults, serving re-drives
+/// from the idempotence table (`deduped`) or absorbing them on the fence
+/// (`fenced`). The price of the shield is visible in the fault-free pair:
+/// one extra dtx branch per step and the intent/idempotence writes
+/// (`intents` column), costing a modest latency premium at p50.
+pub fn e21_exactly_once_workflows(seed: u64) -> Vec<Row> {
+    use tca_messaging::rpc::RpcRequest;
+    use tca_txn::workflow::{deploy_workflow, WorkflowConfig};
+    use tca_workloads::ChainWorkload;
+
+    let workload = ChainWorkload::new(E21_CHAINS, E21_STEPS);
+    let run = |label: &str, drop: f64, config: WorkflowConfig| -> Row {
+        let mut sim = Sim::new(SimConfig {
+            seed,
+            network: NetworkConfig::lossy(drop, drop / 2.0),
+        });
+        let n_orch = sim.add_node();
+        let worker_nodes: Vec<_> = (0..2).map(|_| sim.add_node()).collect();
+        let n_coord = sim.add_node();
+        let shard_nodes: Vec<_> = (0..3).map(|_| sim.add_node()).collect();
+        let deploy = deploy_workflow(
+            &mut sim,
+            n_orch,
+            &worker_nodes,
+            n_coord,
+            &shard_nodes,
+            &e20_bank_registry(),
+            &workload.seeds(),
+            &workload.defs(),
+            config,
+        );
+        for i in 0..workload.chains {
+            let (call_id, start) = workload.start_request(i);
+            sim.inject_at(
+                SimTime::ZERO + SimDuration::from_millis(1 + 16 * i),
+                deploy.orchestrator,
+                Payload::new(RpcRequest {
+                    call_id,
+                    body: Payload::new(start),
+                }),
+            );
+        }
+        // One worker dies mid-stream and comes back: the window where
+        // in-flight steps have committed but their replies are lost.
+        sim.schedule_crash(
+            SimTime::ZERO + SimDuration::from_millis(60),
+            worker_nodes[0],
+        );
+        sim.schedule_restart(
+            SimTime::ZERO + SimDuration::from_millis(120),
+            worker_nodes[0],
+        );
+        sim.run_for(SimDuration::from_secs(6));
+        let admitted = sim.metrics().counter("workflow.started");
+        let completed = sim.metrics().counter("workflow.completed");
+        let (total, expected) = workload.conservation(&sim, &deploy.participants, &deploy.map);
+        assert_eq!(total, expected, "transfers must conserve money");
+        let latency = sim.metrics().histogram("workflow.latency");
+        let p50 = latency.map_or(0.0, |h| h.p50().as_nanos() as f64 / 1e6);
+        let p99 = latency.map_or(0.0, |h| h.p99().as_nanos() as f64 / 1e6);
+        Row::new(label)
+            .col("done", format!("{completed}/{admitted}"))
+            .col(
+                "dbl-applied",
+                workload.double_applies(&sim, &deploy.participants, &deploy.map, admitted),
+            )
+            .col("deduped", sim.metrics().counter("workflow.steps_deduped"))
+            .col("fenced", sim.metrics().counter("workflow.guard_recoveries"))
+            .col("intents", sim.metrics().counter("workflow.intent_writes"))
+            .col("replays", sim.metrics().counter("workflow.replays"))
+            .col("p50", ms(p50))
+            .col("p99", ms(p99))
+    };
+
+    let mut rows = Vec::new();
+    for drop in [0.0, 0.04, 0.08, 0.12] {
+        rows.push(run(
+            &format!("workflow drop={:.0}%", drop * 100.0),
+            drop,
+            WorkflowConfig::default(),
+        ));
+        rows.push(run(
+            &format!("naive    drop={:.0}%", drop * 100.0),
+            drop,
+            WorkflowConfig::naive(),
         ));
     }
     rows

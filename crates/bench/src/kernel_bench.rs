@@ -22,6 +22,10 @@
 //! * `kernel/sharded-router` — partitioned request routing: clients
 //!   sending keyed requests through a router that resolves the owning
 //!   shard on the consistent-hash ring per message and relays the reply.
+//! * `kernel/workflow-chain` — exactly-once step loop: orchestrators
+//!   driving sequential workflow steps against a durable worker with
+//!   tail-call retry timers and one mid-chain crash/recovery; re-driven
+//!   steps dedup on the worker's applied set instead of re-applying.
 //!
 //! Each cell runs a fixed, seeded workload to quiescence and returns the
 //! exact `(events, sim_ns)` it executed — deterministic, so CI compares
@@ -573,6 +577,160 @@ pub fn sharded_router(clients: usize, shards: usize, requests: u32, seed: u64) -
     finish(sim)
 }
 
+// ----- workflow chain -------------------------------------------------------
+
+struct WfStepMsg {
+    wf: u64,
+    seq: u32,
+}
+struct WfStepDone {
+    wf: u64,
+    seq: u32,
+}
+
+/// Worker with a durable applied-set: a re-driven step replays its ack
+/// instead of re-applying (the idempotence-table hot path, bare-kernel
+/// edition). The set lives on the process's disk, so it survives the
+/// cell's mid-chain crash.
+struct MiniWfWorker {
+    applied: std::rc::Rc<std::cell::RefCell<tca_sim::DetHashSet<(u64, u32)>>>,
+}
+
+impl Process for MiniWfWorker {
+    fn on_message(&mut self, ctx: &mut Ctx, from: ProcessId, payload: Payload) {
+        let req = payload.expect::<WfStepMsg>();
+        if self.applied.borrow_mut().insert((req.wf, req.seq)) {
+            ctx.metrics().incr("cell.applied", 1);
+        } else {
+            ctx.metrics().incr("cell.deduped", 1);
+        }
+        ctx.send(
+            from,
+            Payload::new(WfStepDone {
+                wf: req.wf,
+                seq: req.seq,
+            }),
+        );
+    }
+}
+
+/// Orchestrator driving `wfs` sequential workflows of `steps` steps,
+/// re-driving the current step on a timeout (tail-call retry): the
+/// kernel-level shape of the exactly-once workflow runtime — per-step
+/// round-trip, retry timer churn, and dedup on the worker.
+struct MiniWfOrchestrator {
+    worker: ProcessId,
+    wf_base: u64,
+    wfs_left: u32,
+    steps: u32,
+    seq: u32,
+    epoch: u64,
+    retry: SimDuration,
+}
+
+impl MiniWfOrchestrator {
+    fn drive(&mut self, ctx: &mut Ctx) {
+        ctx.send(
+            self.worker,
+            Payload::new(WfStepMsg {
+                wf: self.wf_base + self.wfs_left as u64,
+                seq: self.seq,
+            }),
+        );
+        ctx.set_timer(self.retry, self.epoch);
+    }
+}
+
+impl Process for MiniWfOrchestrator {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.drive(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _from: ProcessId, payload: Payload) {
+        let done = payload.expect::<WfStepDone>();
+        // Late acks of an already-advanced step (a re-drive's duplicate
+        // reply) are ignored: only the current (wf, seq) advances.
+        if done.wf != self.wf_base + self.wfs_left as u64 || done.seq != self.seq {
+            return;
+        }
+        self.epoch += 1;
+        self.seq += 1;
+        if self.seq < self.steps {
+            self.drive(ctx);
+        } else if self.wfs_left > 1 {
+            self.wfs_left -= 1;
+            self.seq = 0;
+            self.drive(ctx);
+        } else {
+            ctx.metrics().incr("cell.done", 1);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+        // Stale timers (the step acked before the deadline) fall through;
+        // a current-epoch timer means the step is unacked — re-drive it.
+        if tag == self.epoch {
+            self.drive(ctx);
+        }
+    }
+}
+
+/// `chains` concurrent orchestrators each running `wfs` workflows of
+/// `steps` sequential steps against one durable worker, with retry
+/// timers tight enough to race genuine acks and one mid-chain worker
+/// crash/recovery: every step applies exactly once (the durable applied
+/// set dedups every re-drive), measured on the bare kernel.
+pub fn workflow_chain(chains: usize, wfs: u32, steps: u32, seed: u64) -> CellRun {
+    let mut sim = Sim::with_seed(seed);
+    let orch_node = sim.add_node();
+    let worker_node = sim.add_node();
+    let worker = sim.spawn(worker_node, "wf-worker", |boot| {
+        let applied = boot.disk.get("applied").unwrap_or_else(|| {
+            let set = std::rc::Rc::new(std::cell::RefCell::new(tca_sim::DetHashSet::default()));
+            boot.disk.put("applied", set.clone());
+            set
+        });
+        Box::new(MiniWfWorker { applied })
+    });
+    for i in 0..chains {
+        sim.spawn(orch_node, "wf-orch", move |_| {
+            Box::new(MiniWfOrchestrator {
+                worker,
+                wf_base: i as u64 * 1_000_000,
+                wfs_left: wfs,
+                steps,
+                seq: 0,
+                epoch: 0,
+                // Tight enough that a slow round-trip re-drives a step
+                // the worker already applied — the dedup path runs even
+                // before the crash does.
+                retry: SimDuration::from_micros(700),
+            })
+        });
+    }
+    // One mid-chain crash/recovery: steps driven into the outage are
+    // lost and re-driven; steps applied before it dedup afterwards.
+    sim.schedule_crash(
+        tca_sim::SimTime::ZERO + SimDuration::from_millis(30),
+        worker_node,
+    );
+    sim.schedule_restart(
+        tca_sim::SimTime::ZERO + SimDuration::from_millis(45),
+        worker_node,
+    );
+    sim.run_to_quiescence(MAX_EVENTS);
+    assert_eq!(sim.metrics().counter("cell.done"), chains as u64);
+    let expected = chains as u64 * wfs as u64 * steps as u64;
+    assert_eq!(
+        sim.metrics().counter("cell.applied"),
+        expected,
+        "every step applies exactly once"
+    );
+    assert!(
+        sim.metrics().counter("cell.deduped") > 0,
+        "re-drives must exercise the dedup path"
+    );
+    finish(sim)
+}
+
 // ----- suite ----------------------------------------------------------------
 
 /// A named kernel cell: fixed seeded workload, deterministic work counts.
@@ -613,6 +771,10 @@ pub fn kernel_cells() -> Vec<KernelCell> {
         KernelCell {
             name: "kernel/sharded-router",
             run: || sharded_router(16, 8, 256, 42),
+        },
+        KernelCell {
+            name: "kernel/workflow-chain",
+            run: || workflow_chain(8, 16, 8, 42),
         },
     ]
 }

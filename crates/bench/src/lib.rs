@@ -1,6 +1,6 @@
 //! # `tca-bench` — experiment harness
 //!
-//! One function per experiment in `DESIGN.md` (F1, E1–E16), each
+//! One function per experiment in `DESIGN.md` (F1, E1–E21), each
 //! deterministic given a seed, plus the `experiments` binary that prints
 //! them and the in-tree wall-clock bench harness (`harness` module, run
 //! via the `bench` binary) mirroring the hot paths.

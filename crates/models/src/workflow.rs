@@ -1,0 +1,362 @@
+//! Workflow-backed stateful entities: Beldi-style receive-side dedup for
+//! the statefun model (§4.2 "Cloud Functions").
+//!
+//! The statefun runtime in [`crate::statefun`] deduplicates cross-shard
+//! entity operations with an ad-hoc `(instance, seq)` map that is never
+//! collected. This module is the workflow-runtime variant of that idea:
+//! a keyed entity that fronts its state with the *durable*
+//! [`IdempotenceTable`] from `tca-storage` — the same table the
+//! `tca_txn::workflow` worker uses — so exactly-once holds across entity
+//! crashes **and** the table is garbage-collected behind the workflow
+//! layer's completed-workflow watermark instead of growing forever.
+//!
+//! The entity is deliberately single-key and transport-thin (one op per
+//! step, no cross-entity locking): it isolates the *receive-side*
+//! exactly-once discipline so the statefun and workflow runtimes can share
+//! it. Composition across entities is the workflow orchestrator's job.
+//!
+//! Contract, in table terms:
+//!
+//! - fresh step → apply the op, record the reply, answer;
+//! - duplicate step → answer the recorded reply, do **not** re-apply;
+//! - step below the GC watermark → reject with an error, never
+//!   re-execute (the watermark proves the workflow already finished).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tca_messaging::rpc::{reply_to, RpcRequest};
+use tca_sim::{Boot, Ctx, Payload, Process};
+use tca_storage::{IdemCheck, IdempotenceTable, SharedIdempotence, StepReply, Value};
+
+/// One exactly-once operation against a [`WorkflowEntity`], addressed by
+/// the workflow layer's `(workflow id, step seq)` identity. Send inside an
+/// [`RpcRequest`]; the entity answers with an [`EntityStepReply`].
+#[derive(Debug, Clone)]
+pub struct EntityStep {
+    /// Owning workflow instance.
+    pub workflow: u64,
+    /// Step sequence within the workflow.
+    pub seq: u32,
+    /// Operation name (dispatched to the entity's op handler).
+    pub op: String,
+    /// Operation arguments.
+    pub args: Vec<Value>,
+}
+
+/// Reply to an [`EntityStep`].
+#[derive(Debug, Clone)]
+pub struct EntityStepReply {
+    /// Echoed workflow id.
+    pub workflow: u64,
+    /// Echoed step seq.
+    pub seq: u32,
+    /// True when the reply was served from the idempotence table (the op
+    /// was *not* re-applied).
+    pub deduped: bool,
+    /// The op result — recorded on first execution, replayed verbatim on
+    /// duplicates, an error for steps below the GC watermark.
+    pub reply: StepReply,
+}
+
+/// Watermark broadcast: every workflow with id below `below` reached a
+/// terminal state, so their idempotence entries may be collected.
+#[derive(Debug, Clone, Copy)]
+pub struct EntityGc {
+    /// Exclusive upper bound of collected workflow ids.
+    pub below: u64,
+}
+
+/// The entity's op handler: `(state, op, args) → reply`. State mutations
+/// are durable the moment the handler returns (the state cell lives on
+/// the entity's disk).
+pub type EntityOp = Rc<dyn Fn(&mut Value, &str, &[Value]) -> Result<Vec<Value>, String>>;
+
+/// A keyed stateful entity with Beldi-style receive-side dedup: state and
+/// idempotence table both live on the entity's simulated disk, so a crash
+/// between a step's execution and its reply cannot double-apply — the
+/// replayed step finds the recorded entry and answers from it.
+pub struct WorkflowEntity {
+    op: EntityOp,
+    state: Rc<RefCell<Value>>,
+    idem: SharedIdempotence,
+}
+
+impl WorkflowEntity {
+    /// Process factory. `init` seeds the state on first boot; `op`
+    /// handles every [`EntityStep`]. Both the state cell and the
+    /// idempotence table are created once and survive restarts.
+    pub fn factory(init: Value, op: EntityOp) -> impl FnMut(&mut Boot) -> Box<dyn Process> {
+        move |boot| {
+            let state: Rc<RefCell<Value>> = boot.disk.get("entity_state").unwrap_or_else(|| {
+                let cell = Rc::new(RefCell::new(init.clone()));
+                boot.disk.put("entity_state", cell.clone());
+                cell
+            });
+            let idem: SharedIdempotence = boot.disk.get("entity_idem").unwrap_or_else(|| {
+                let table: SharedIdempotence = Rc::new(RefCell::new(IdempotenceTable::new()));
+                boot.disk.put("entity_idem", table.clone());
+                table
+            });
+            Box::new(WorkflowEntity {
+                op: Rc::clone(&op),
+                state,
+                idem,
+            })
+        }
+    }
+
+    /// Current entity state (audits and tests).
+    pub fn state(&self) -> Value {
+        self.state.borrow().clone()
+    }
+
+    /// Live idempotence entries (drops to 0 as the watermark passes).
+    pub fn idem_entries(&self) -> usize {
+        self.idem.borrow().len()
+    }
+
+    /// The entity's idempotence GC watermark.
+    pub fn watermark(&self) -> u64 {
+        self.idem.borrow().watermark()
+    }
+
+    fn handle_step(&mut self, ctx: &mut Ctx, from: tca_sim::ProcessId, req: &RpcRequest) {
+        let Some(step) = req.body.downcast_ref::<EntityStep>() else {
+            return;
+        };
+        let check = self.idem.borrow().check(step.workflow, step.seq);
+        let (deduped, reply) = match check {
+            IdemCheck::BelowWatermark(watermark) => {
+                ctx.metrics().incr("entity.below_watermark", 1);
+                (
+                    false,
+                    Err(format!(
+                        "duplicate step {}:{} below idempotence GC watermark \
+                         {watermark}: rejected, not re-executed",
+                        step.workflow, step.seq
+                    )),
+                )
+            }
+            IdemCheck::Duplicate(reply) => {
+                ctx.metrics().incr("entity.steps_deduped", 1);
+                (true, reply)
+            }
+            IdemCheck::Fresh => {
+                let reply = (self.op)(&mut self.state.borrow_mut(), &step.op, &step.args);
+                self.idem
+                    .borrow_mut()
+                    .record(step.workflow, step.seq, reply.clone());
+                ctx.metrics().incr("entity.steps_applied", 1);
+                (false, reply)
+            }
+        };
+        reply_to(
+            ctx,
+            from,
+            req,
+            Payload::new(EntityStepReply {
+                workflow: step.workflow,
+                seq: step.seq,
+                deduped,
+                reply,
+            }),
+        );
+    }
+}
+
+impl Process for WorkflowEntity {
+    fn on_message(&mut self, ctx: &mut Ctx, from: tca_sim::ProcessId, msg: Payload) {
+        if let Some(req) = msg.downcast_ref::<RpcRequest>() {
+            self.handle_step(ctx, from, req);
+        } else if let Some(gc) = msg.downcast_ref::<EntityGc>() {
+            let collected = self.idem.borrow_mut().gc_below(gc.below);
+            ctx.metrics().incr("entity.idem_gc", collected as u64);
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tca_messaging::rpc::RpcReply;
+    use tca_sim::{Sim, SimDuration, SimTime};
+
+    fn counter_op() -> EntityOp {
+        Rc::new(|state, op, args| {
+            let n = state.as_int();
+            match op {
+                "add" => {
+                    let delta = args[0].as_int();
+                    *state = Value::Int(n + delta);
+                    Ok(vec![Value::Int(n + delta)])
+                }
+                _ => Err(format!("unknown op `{op}`")),
+            }
+        })
+    }
+
+    struct Driver {
+        entity: tca_sim::ProcessId,
+        steps: Vec<(u64, u32, i64)>,
+        /// A duplicate to re-send after a delay (post-GC probe).
+        late: Option<(u64, u32, i64, SimDuration)>,
+        replies: Rc<RefCell<Vec<EntityStepReply>>>,
+    }
+
+    impl Driver {
+        fn send_step(&self, ctx: &mut Ctx, call_id: u64, workflow: u64, seq: u32, delta: i64) {
+            ctx.send(
+                self.entity,
+                Payload::new(RpcRequest {
+                    call_id,
+                    body: Payload::new(EntityStep {
+                        workflow,
+                        seq,
+                        op: "add".into(),
+                        args: vec![Value::Int(delta)],
+                    }),
+                }),
+            );
+        }
+    }
+
+    impl Process for Driver {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            for (i, &(workflow, seq, delta)) in self.steps.iter().enumerate() {
+                self.send_step(ctx, i as u64, workflow, seq, delta);
+            }
+            if let Some((_, _, _, after)) = self.late {
+                ctx.set_timer(after, 1);
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx, _from: tca_sim::ProcessId, msg: Payload) {
+            if let Some(reply) = msg.downcast_ref::<RpcReply>() {
+                if let Some(r) = reply.body.downcast_ref::<EntityStepReply>() {
+                    self.replies.borrow_mut().push(r.clone());
+                }
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+            if let Some((workflow, seq, delta, _)) = self.late.take() {
+                self.send_step(ctx, 99, workflow, seq, delta);
+            }
+        }
+    }
+
+    fn world(
+        steps: Vec<(u64, u32, i64)>,
+        late: Option<(u64, u32, i64, SimDuration)>,
+    ) -> (Sim, tca_sim::ProcessId, Rc<RefCell<Vec<EntityStepReply>>>) {
+        let mut sim = Sim::with_seed(11);
+        let n_entity = sim.add_node();
+        let n_driver = sim.add_node();
+        let entity = sim.spawn(
+            n_entity,
+            "counter",
+            WorkflowEntity::factory(Value::Int(0), counter_op()),
+        );
+        let replies = Rc::new(RefCell::new(Vec::new()));
+        let captured = Rc::clone(&replies);
+        sim.spawn(n_driver, "driver", move |_boot| {
+            Box::new(Driver {
+                entity,
+                steps: steps.clone(),
+                late,
+                replies: Rc::clone(&captured),
+            })
+        });
+        (sim, entity, replies)
+    }
+
+    #[test]
+    fn duplicate_steps_replay_the_recorded_reply_without_reapplying() {
+        // The same (workflow, seq) delivered three times applies once:
+        // the two duplicates serve the recorded reply.
+        let (mut sim, entity, replies) = world(vec![(1, 0, 5), (1, 0, 5), (1, 0, 5)], None);
+        sim.run_for(SimDuration::from_millis(50));
+        let entity_ref = sim.inspect::<WorkflowEntity>(entity).unwrap();
+        assert_eq!(entity_ref.state(), Value::Int(5), "applied exactly once");
+        assert_eq!(sim.metrics().counter("entity.steps_applied"), 1);
+        assert_eq!(sim.metrics().counter("entity.steps_deduped"), 2);
+        let replies = replies.borrow();
+        assert_eq!(replies.len(), 3);
+        for r in replies.iter() {
+            assert_eq!(
+                r.reply,
+                Ok(vec![Value::Int(5)]),
+                "duplicates see the original reply"
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_survives_a_crash_between_steps() {
+        // Crash the entity after the first delivery; the restarted
+        // incarnation must still dedup the re-sent step from its durable
+        // table rather than re-applying it.
+        let (mut sim, entity, _replies) = world(vec![(1, 0, 7)], None);
+        let node = sim.node_of(entity);
+        sim.schedule_crash(SimTime::ZERO + SimDuration::from_millis(10), node);
+        sim.schedule_restart(SimTime::ZERO + SimDuration::from_millis(20), node);
+        sim.run_for(SimDuration::from_millis(30));
+        sim.inject_at(
+            SimTime::ZERO + SimDuration::from_millis(40),
+            entity,
+            Payload::new(RpcRequest {
+                call_id: 99,
+                body: Payload::new(EntityStep {
+                    workflow: 1,
+                    seq: 0,
+                    op: "add".into(),
+                    args: vec![Value::Int(7)],
+                }),
+            }),
+        );
+        sim.run_for(SimDuration::from_millis(50));
+        let entity_ref = sim.inspect::<WorkflowEntity>(entity).unwrap();
+        assert_eq!(
+            entity_ref.state(),
+            Value::Int(7),
+            "no double-apply across the crash"
+        );
+        assert_eq!(sim.metrics().counter("entity.steps_deduped"), 1);
+    }
+
+    #[test]
+    fn post_gc_duplicate_is_rejected_with_a_clear_error() {
+        // The driver re-sends the step at t=60ms — after the watermark
+        // broadcast at t=30ms collected its entry.
+        let (mut sim, entity, replies) = world(
+            vec![(1, 0, 3)],
+            Some((1, 0, 3, SimDuration::from_millis(60))),
+        );
+        sim.run_for(SimDuration::from_millis(20));
+        sim.inject_at(
+            SimTime::ZERO + SimDuration::from_millis(30),
+            entity,
+            Payload::new(EntityGc { below: 2 }),
+        );
+        sim.run_for(SimDuration::from_millis(100));
+        let entity_ref = sim.inspect::<WorkflowEntity>(entity).unwrap();
+        assert_eq!(
+            entity_ref.state(),
+            Value::Int(3),
+            "the late duplicate did not re-apply"
+        );
+        assert_eq!(entity_ref.idem_entries(), 0, "entry was collected");
+        assert_eq!(sim.metrics().counter("entity.idem_gc"), 1);
+        let replies = replies.borrow();
+        let last = replies.last().unwrap();
+        assert!(!last.deduped);
+        let err = last.reply.as_ref().unwrap_err();
+        assert!(
+            err.contains("below idempotence GC watermark"),
+            "rejection names the watermark: {err}"
+        );
+    }
+}

@@ -75,6 +75,16 @@ pub struct FaultProfile {
     pub min_outage: SimDuration,
     /// Maximum outage duration.
     pub max_outage: SimDuration,
+    /// Maximum crash-during-recovery cycles: a crash/restart pair where a
+    /// *second* crash lands within [`FaultProfile::recrash_grace`] of the
+    /// restart — squarely inside the window where the node is replaying
+    /// durable state — followed by a second restart, all before the
+    /// horizon. `0` (the default) generates none and draws nothing, so
+    /// existing profiles produce byte-identical plans.
+    pub max_recrash_cycles: u32,
+    /// How soon after a restart the second crash of a recrash cycle must
+    /// land (the "recovery window" under attack).
+    pub recrash_grace: SimDuration,
 }
 
 impl Default for FaultProfile {
@@ -87,6 +97,23 @@ impl Default for FaultProfile {
             max_dup_prob: 0.10,
             min_outage: SimDuration::from_millis(10),
             max_outage: SimDuration::from_millis(80),
+            max_recrash_cycles: 0,
+            recrash_grace: SimDuration::from_millis(15),
+        }
+    }
+}
+
+impl FaultProfile {
+    /// The crash-during-recovery profile: the default fault mix plus up
+    /// to two cycles where a node is crashed *again* within a few
+    /// milliseconds of restarting — while it is still re-driving work
+    /// replayed from its durable logs. Recovery paths that are not
+    /// themselves idempotent (replaying an intent twice, re-sending a
+    /// decision from half-rebuilt state) break exactly here.
+    pub fn crash_during_recovery() -> Self {
+        FaultProfile {
+            max_recrash_cycles: 2,
+            ..FaultProfile::default()
         }
     }
 }
@@ -163,6 +190,37 @@ impl FaultPlan {
                     node,
                     at: SimDuration::from_nanos(at + dur),
                 });
+            }
+        }
+        if n_crashable > 0 && profile.max_recrash_cycles > 0 {
+            // Crash-during-recovery: crash → restart → second crash while
+            // the node is still replaying durable state → second restart.
+            // All four events land at or before the horizon so plans stay
+            // resolved. The gap draw starts at 1 ns so the second crash
+            // strictly follows the restart (same-instant orderings are the
+            // model checker's job, not the sweep's).
+            let cycles = rng.index(profile.max_recrash_cycles as usize + 1);
+            for _ in 0..cycles {
+                let node = rng.index(n_crashable);
+                let first = outage(rng);
+                let gap = rng.range(1, profile.recrash_grace.as_nanos().max(2));
+                let second = outage(rng);
+                let span = first + gap + second;
+                let latest_start = horizon_ns.saturating_sub(span).max(1);
+                let at = rng.range(0, latest_start);
+                for (offset, restart) in [
+                    (0, false),
+                    (first, true),
+                    (first + gap, false),
+                    (span, true),
+                ] {
+                    let event_at = SimDuration::from_nanos(at + offset);
+                    events.push(if restart {
+                        FaultEvent::Restart { node, at: event_at }
+                    } else {
+                        FaultEvent::Crash { node, at: event_at }
+                    });
+                }
             }
         }
         if profile.max_partition_windows > 0 {
@@ -279,35 +337,86 @@ mod tests {
     }
 
     #[test]
-    fn every_crash_has_a_matching_restart_before_horizon() {
-        let profile = FaultProfile::default();
+    fn recrash_off_by_default_leaves_generation_untouched() {
+        // The knob must be additive: with `max_recrash_cycles == 0` no
+        // extra RNG draws happen, so pre-existing profiles keep producing
+        // byte-identical plans (the determinism gate depends on this).
+        assert_eq!(FaultProfile::default().max_recrash_cycles, 0);
+        for seed in 0..50 {
+            let base = FaultPlan::generate(&mut SimRng::new(seed), &FaultProfile::default(), 3);
+            let explicit = FaultPlan::generate(
+                &mut SimRng::new(seed),
+                &FaultProfile {
+                    max_recrash_cycles: 0,
+                    ..FaultProfile::crash_during_recovery()
+                },
+                3,
+            );
+            assert_eq!(base.events, explicit.events);
+            assert_eq!(base.drop_prob, explicit.drop_prob);
+            assert_eq!(base.dup_prob, explicit.dup_prob);
+        }
+    }
+
+    #[test]
+    fn crash_during_recovery_recrashes_within_the_grace_window() {
+        let profile = FaultProfile::crash_during_recovery();
+        let mut saw_recrash = false;
         for seed in 0..200 {
             let plan = FaultPlan::generate(&mut SimRng::new(seed), &profile, 4);
-            let mut down: Vec<usize> = Vec::new();
-            let mut cut = false;
-            for event in &plan.events {
-                match event {
-                    FaultEvent::Crash { node, at } => {
-                        assert!(*at < plan.horizon);
-                        down.push(*node);
-                    }
-                    FaultEvent::Restart { node, at } => {
-                        assert!(*at <= plan.horizon);
-                        let pos = down.iter().position(|n| n == node).expect("crash first");
-                        down.remove(pos);
-                    }
-                    FaultEvent::Partition { at, .. } => {
-                        assert!(*at < plan.horizon);
-                        cut = true;
-                    }
-                    FaultEvent::Heal { at } => {
-                        assert!(*at <= plan.horizon);
-                        cut = false;
+            // Wherever a restart is immediately followed (in generation
+            // order, same node) by another crash, that crash must land
+            // inside the recovery grace window.
+            for pair in plan.events.windows(2) {
+                if let [FaultEvent::Restart { node: r, at: up }, FaultEvent::Crash { node: c, at: down }] =
+                    pair
+                {
+                    if r == c && *down > *up && *down - *up <= profile.recrash_grace {
+                        saw_recrash = true;
                     }
                 }
             }
-            assert!(down.is_empty(), "seed {seed}: unrestarted crash");
-            assert!(!cut, "seed {seed}: unhealed partition");
+        }
+        assert!(
+            saw_recrash,
+            "200 seeds must produce at least one crash-during-recovery cycle"
+        );
+    }
+
+    #[test]
+    fn every_crash_has_a_matching_restart_before_horizon() {
+        for profile in [
+            FaultProfile::default(),
+            FaultProfile::crash_during_recovery(),
+        ] {
+            for seed in 0..200 {
+                let plan = FaultPlan::generate(&mut SimRng::new(seed), &profile, 4);
+                let mut down: Vec<usize> = Vec::new();
+                let mut cut = false;
+                for event in &plan.events {
+                    match event {
+                        FaultEvent::Crash { node, at } => {
+                            assert!(*at < plan.horizon);
+                            down.push(*node);
+                        }
+                        FaultEvent::Restart { node, at } => {
+                            assert!(*at <= plan.horizon);
+                            let pos = down.iter().position(|n| n == node).expect("crash first");
+                            down.remove(pos);
+                        }
+                        FaultEvent::Partition { at, .. } => {
+                            assert!(*at < plan.horizon);
+                            cut = true;
+                        }
+                        FaultEvent::Heal { at } => {
+                            assert!(*at <= plan.horizon);
+                            cut = false;
+                        }
+                    }
+                }
+                assert!(down.is_empty(), "seed {seed}: unrestarted crash");
+                assert!(!cut, "seed {seed}: unhealed partition");
+            }
         }
     }
 

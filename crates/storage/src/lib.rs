@@ -18,6 +18,7 @@
 
 pub mod cache;
 pub mod engine;
+pub mod idempotence;
 pub mod locks;
 pub mod mvcc;
 pub mod proc;
@@ -29,6 +30,7 @@ pub mod wal;
 
 pub use cache::{CacheConfig, TtlCache};
 pub use engine::{CommitResult, Engine, EngineConfig, OpResult, Resumption, TxFootprint};
+pub use idempotence::{IdemCheck, IdempotenceTable, SharedIdempotence, StepReply};
 pub use locks::{Acquire, LockMode, LockTable};
 pub use mvcc::MvccStore;
 pub use proc::{run_proc, ProcOutcome, ProcRegistry, TxHandle};

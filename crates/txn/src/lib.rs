@@ -17,6 +17,9 @@
 //!   checkpoint/replay recovery, exactly-once output.
 //! - [`sharding`] — cross-shard transaction construction: partition-keyed
 //!   operations become 2PC branches via the shared placement map.
+//! - [`workflow`] — Beldi-style exactly-once workflows: durable intent
+//!   logs, idempotence tables with watermark GC, and tail-call retry
+//!   orchestration that survives caller crashes.
 //! - [`checker`] — serializability (DSG cycle detection), exactly-once,
 //!   and atomicity audits over what the system *actually did*.
 //! - [`causal`] — vector clocks and causal delivery (Antipode direction).
@@ -37,6 +40,7 @@ pub mod saga;
 pub mod sharding;
 pub mod torture;
 pub mod twopc;
+pub mod workflow;
 
 pub use actor_txn::{
     encode_plan, transactional_bank_registry, transfer_plan, TransactionalActor, TxnCoordinator,
@@ -49,13 +53,18 @@ pub use deterministic::{
     deploy_deterministic, transfer_registry, DetRegistry, DetShard, Sequencer, SequencerConfig,
     SubmitTxn, TxnOutcome,
 };
-pub use mc_scenarios::sharded_twopc_mc_scenario;
+pub use mc_scenarios::{sharded_twopc_mc_scenario, workflow_mc_scenario};
 pub use saga::{SagaDef, SagaOrchestrator, SagaOutcome, SagaStep, StartSaga};
 pub use sharding::{route_branches, touched_shards, ShardOp};
 pub use torture::{
     actor_torture_scenario, dataflow_torture_scenario, saga_torture_scenario,
-    twopc_torture_scenario,
+    twopc_torture_scenario, workflow_torture_scenario,
 };
 pub use twopc::{
     CoordinatorConfig, DtxOutcome, ParticipantConfig, StartDtx, TwoPcCoordinator, TwoPcParticipant,
+};
+pub use workflow::{
+    deploy_workflow, peek_sharded, step_marker_key, transfer_chain_def, with_workflow_markers,
+    GcWatermark, StartWorkflow, StepOutcome, StepReq, WorkflowConfig, WorkflowDef,
+    WorkflowDeployment, WorkflowOrchestrator, WorkflowOutcome, WorkflowStep, WorkflowWorker,
 };

@@ -28,6 +28,10 @@ use crate::twopc::{
     CoordinatorConfig, DecisionAck, DecisionInquiry, DecisionReq, DtxOutcome, ExecuteReq,
     ExecuteResp, ParticipantConfig, PrepareReq, StartDtx, TwoPcCoordinator, TwoPcParticipant, Vote,
 };
+use crate::workflow::{
+    deploy_workflow, peek_sharded, step_marker_key, transfer_chain_def, GcWatermark, StartWorkflow,
+    StepOutcome, StepReq, WorkflowConfig, WorkflowOrchestrator, WorkflowOutcome, WorkflowWorker,
+};
 use tca_models::actor::{ActorSilo, Directory, DirectoryConfig, SiloConfig};
 
 /// Fixed-latency, loss-free network: the checker's choice enumeration
@@ -981,6 +985,252 @@ pub fn dataflow_mc_scenario(transfers: u64) -> McScenario {
                 "watermark stuck at {} with last epoch {last}",
                 seq.fleet_watermark()
             ));
+        }
+        Ok(())
+    });
+    sc
+}
+
+// ---------------------------------------------------------------------------
+// Exactly-once workflows (intent log + idempotence table + tail-call retry)
+// ---------------------------------------------------------------------------
+
+/// Per-account starting balance in the workflow checking world.
+pub const MC_WF_START: i64 = 100;
+/// Per-hop transfer amount in the workflow checking world.
+pub const MC_WF_AMOUNT: i64 = 10;
+/// Chain length (steps per workflow) in the workflow checking world.
+pub const MC_WF_STEPS: u32 = 2;
+/// Shard 0's pid in the workflow world ([`deploy_workflow`] spawns the
+/// shard participants first, in ring order).
+pub const MC_WF_S0: ProcessId = ProcessId(0);
+/// Shard 1's pid in the workflow world.
+pub const MC_WF_S1: ProcessId = ProcessId(1);
+/// The 2PC coordinator's pid in the workflow world.
+pub const MC_WF_COORD: ProcessId = ProcessId(2);
+/// The single step worker's pid in the workflow world.
+pub const MC_WF_WORKER: ProcessId = ProcessId(3);
+/// The orchestrator's pid in the workflow world.
+pub const MC_WF_ORCH: ProcessId = ProcessId(4);
+
+/// Content fingerprint for the workflow world: the workflow wire messages
+/// plus every 2PC protocol message they carry underneath (via
+/// [`twopc_payload_fp`]). RPC envelopes recurse into *this* fingerprint so
+/// a `StepReq` inside an `RpcRequest` still hashes by content.
+pub fn workflow_payload_fp(p: &Payload) -> Option<u64> {
+    if let Some(r) = p.downcast_ref::<RpcRequest>() {
+        Some(fnv_bytes(1, r.call_id.to_le_bytes()) ^ workflow_payload_fp(&r.body)?)
+    } else if let Some(r) = p.downcast_ref::<RpcReply>() {
+        Some(fnv_bytes(2, r.call_id.to_le_bytes()) ^ workflow_payload_fp(&r.body)?)
+    } else if let Some(m) = p.downcast_ref::<StartWorkflow>() {
+        Some(fnv_debug(20, m))
+    } else if let Some(m) = p.downcast_ref::<WorkflowOutcome>() {
+        Some(fnv_debug(21, m))
+    } else if let Some(m) = p.downcast_ref::<StepReq>() {
+        Some(fnv_debug(22, m))
+    } else if let Some(m) = p.downcast_ref::<StepOutcome>() {
+        Some(fnv_debug(23, m))
+    } else if let Some(m) = p.downcast_ref::<GcWatermark>() {
+        Some(fnv_debug(24, m))
+    } else {
+        twopc_payload_fp(p)
+    }
+}
+
+/// The exactly-once workflow checking world: one orchestrator, one step
+/// worker, a 2PC coordinator and two ring shards, with a single two-step
+/// transfer chain injected at time zero. The full Beldi-style stack is in
+/// the schedule space: durable intent written before the step dtx, the
+/// `wf_guard` marker fence as an extra dtx branch, idempotence-table
+/// dedup on re-sent steps, tail-call re-drives from the orchestrator
+/// sweep, and watermark GC after completion.
+///
+/// Carries full state fingerprints (orchestrator / worker / coordinator /
+/// participant digests + balances + step markers), so the visited set
+/// merges converged interleavings. The step invariant holds the core
+/// exactly-once bound at *every* state: no step marker ever exceeds one
+/// application, and the orchestrator never reports more completions than
+/// starts. The terminal audit checks chain completion, per-marker
+/// exactly-once, conservation, idempotence-table GC, and that no intent,
+/// lock, in-doubt branch or open dtx survives.
+pub fn workflow_mc_scenario() -> McScenario {
+    let accounts: Vec<String> = (0..=MC_WF_STEPS).map(|i| format!("acct{i}")).collect();
+    let markers: Vec<String> = (0..MC_WF_STEPS).map(|s| step_marker_key(1, s)).collect();
+    let mut sc = McScenario::new("workflow", move || {
+        let mut sim = Sim::new(SimConfig {
+            seed: 42,
+            network: mc_network(),
+        });
+        let n_s0 = sim.add_node();
+        let n_s1 = sim.add_node();
+        let n_coord = sim.add_node();
+        let n_worker = sim.add_node();
+        let n_orch = sim.add_node();
+        let seeds: Vec<(String, Value)> = (0..=MC_WF_STEPS)
+            .map(|i| (format!("acct{i}"), Value::Int(MC_WF_START)))
+            .collect();
+        let deploy = deploy_workflow(
+            &mut sim,
+            n_orch,
+            &[n_worker],
+            n_coord,
+            &[n_s0, n_s1],
+            &bank_registry(),
+            &seeds,
+            &[transfer_chain_def("chain", MC_WF_STEPS)],
+            WorkflowConfig::default(),
+        );
+        debug_assert_eq!(
+            (
+                deploy.participants[0],
+                deploy.participants[1],
+                deploy.coordinator,
+                deploy.workers[0],
+                deploy.orchestrator,
+            ),
+            (MC_WF_S0, MC_WF_S1, MC_WF_COORD, MC_WF_WORKER, MC_WF_ORCH)
+        );
+        sim.inject(
+            deploy.orchestrator,
+            Payload::new(RpcRequest {
+                call_id: 0,
+                body: Payload::new(StartWorkflow {
+                    workflow: "chain".into(),
+                    args: vec![Value::Int(0), Value::Int(MC_WF_AMOUNT)],
+                }),
+            }),
+        );
+        sim
+    });
+    sc.payload_fp = Box::new(workflow_payload_fp);
+    let fp_accounts = accounts.clone();
+    let fp_markers = markers.clone();
+    sc.state_fp = Box::new(move |sim| {
+        let map = tca_sim::ShardMap::ring(2);
+        let participants = [MC_WF_S0, MC_WF_S1];
+        let digest = |pid: ProcessId| -> u64 {
+            sim.inspect::<TwoPcParticipant>(pid)
+                .map(|p| p.state_digest())
+                .unwrap_or(0)
+        };
+        let mut h = fnv_bytes(14, []);
+        for v in [
+            digest(MC_WF_S0),
+            digest(MC_WF_S1),
+            sim.inspect::<TwoPcCoordinator>(MC_WF_COORD)
+                .map(|c| c.state_digest())
+                .unwrap_or(0),
+            sim.inspect::<WorkflowWorker>(MC_WF_WORKER)
+                .map(|w| w.state_digest())
+                .unwrap_or(0),
+            sim.inspect::<WorkflowOrchestrator>(MC_WF_ORCH)
+                .map(|o| o.state_digest())
+                .unwrap_or(0),
+        ] {
+            h = fnv_bytes(h, v.to_le_bytes());
+        }
+        for key in fp_accounts.iter().chain(fp_markers.iter()) {
+            let v = peek_sharded(sim, &participants, &map, key).unwrap_or(i64::MIN);
+            h = fnv_bytes(h, v.to_le_bytes());
+        }
+        Some(h)
+    });
+    let inv_markers = markers.clone();
+    sc.step_invariant = Box::new(move |sim| {
+        let map = tca_sim::ShardMap::ring(2);
+        let participants = [MC_WF_S0, MC_WF_S1];
+        for key in &inv_markers {
+            if let Some(n) = peek_sharded(sim, &participants, &map, key) {
+                if n > 1 {
+                    return Err(format!("exactly-once: step marker {key} applied {n} times"));
+                }
+            }
+        }
+        let started = sim.metrics().counter("workflow.started");
+        let completed = sim.metrics().counter("workflow.completed");
+        if completed > started {
+            return Err(format!(
+                "{completed} workflows completed but only {started} started"
+            ));
+        }
+        Ok(())
+    });
+    sc.audit = Box::new(move |sim| {
+        let map = tca_sim::ShardMap::ring(2);
+        let participants = [MC_WF_S0, MC_WF_S1];
+        let started = sim.metrics().counter("workflow.started");
+        let completed = sim.metrics().counter("workflow.completed");
+        let failed = sim.metrics().counter("workflow.failed");
+        if failed != 0 {
+            return Err(format!("{failed} workflows failed (all hops are funded)"));
+        }
+        // The checker may drop the injected StartWorkflow, so audit
+        // against what the orchestrator actually admitted.
+        if completed != started {
+            return Err(format!(
+                "stranded: {started} started, {completed} completed"
+            ));
+        }
+        let orch = sim
+            .inspect::<WorkflowOrchestrator>(MC_WF_ORCH)
+            .ok_or("cannot inspect orchestrator")?;
+        if orch.open_workflows() != 0 {
+            return Err(format!("{} workflows still open", orch.open_workflows()));
+        }
+        // Exactly-once per step: every marker of an admitted chain is 1,
+        // never more, and no marker exists for a never-admitted chain.
+        for key in &markers {
+            let marker = peek_sharded(sim, &participants, &map, key);
+            let want = if started > 0 { Some(1) } else { None };
+            if marker != want {
+                return Err(format!("marker {key}: {marker:?}, expected {want:?}"));
+            }
+        }
+        let total: i64 = accounts
+            .iter()
+            .map(|key| peek_sharded(sim, &participants, &map, key).unwrap_or(MC_WF_START))
+            .sum();
+        let expected = (MC_WF_STEPS as i64 + 1) * MC_WF_START;
+        if total != expected {
+            return Err(format!(
+                "conservation: balances sum to {total}, expected {expected}"
+            ));
+        }
+        let worker = sim
+            .inspect::<WorkflowWorker>(MC_WF_WORKER)
+            .ok_or("cannot inspect worker")?;
+        if worker.pending_intents() != 0 {
+            return Err(format!(
+                "{} intents never resolved on the worker",
+                worker.pending_intents()
+            ));
+        }
+        if worker.idem_entries() != 0 {
+            return Err(format!(
+                "{} idempotence entries survived watermark GC",
+                worker.idem_entries()
+            ));
+        }
+        for (pid, name) in [(MC_WF_S0, "shard 0"), (MC_WF_S1, "shard 1")] {
+            let p = sim
+                .inspect::<TwoPcParticipant>(pid)
+                .ok_or_else(|| format!("cannot inspect {name}"))?;
+            if p.in_doubt() != 0 {
+                return Err(format!("{name}: {} branches still in doubt", p.in_doubt()));
+            }
+            if p.engine().active_count() != 0 {
+                return Err(format!(
+                    "{name}: {} open engine transactions (stuck locks)",
+                    p.engine().active_count()
+                ));
+            }
+        }
+        let open = sim
+            .inspect::<TwoPcCoordinator>(MC_WF_COORD)
+            .map(|c| c.open_dtxs())
+            .ok_or("cannot inspect coordinator")?;
+        if open != 0 {
+            return Err(format!("coordinator still tracks {open} transactions"));
         }
         Ok(())
     });

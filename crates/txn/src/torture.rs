@@ -34,6 +34,10 @@ use crate::saga::{SagaDef, SagaOrchestrator, SagaStep, StartSaga};
 use crate::twopc::{
     CoordinatorConfig, ParticipantConfig, StartDtx, TwoPcCoordinator, TwoPcParticipant,
 };
+use crate::workflow::{
+    deploy_workflow, peek_sharded, step_marker_key, transfer_chain_def, StartWorkflow,
+    WorkflowConfig, WorkflowOrchestrator, WorkflowWorker,
+};
 
 /// Settle time after the fault horizon before auditing: long enough for
 /// every timeout, inquiry, and retry chain in the protocols to complete
@@ -556,6 +560,229 @@ pub fn dataflow_torture_scenario(seed: u64, plan: &FaultPlan) -> Result<(), Stri
         return Err(format!(
             "watermark {watermark} never caught up with last epoch {last}"
         ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Exactly-once workflows
+// ---------------------------------------------------------------------------
+
+/// The workflow stack needs more settle time than the flat protocols: a
+/// chain is 4 sequential steps, each a full 2PC transaction reached
+/// through two RPC legs (orchestrator → worker → coordinator), the
+/// ambient loss of the plan persists through the grace period, and
+/// overlapping chains abort each other on lock conflicts until the
+/// re-drive sweep untangles them one committed step at a time. Worst
+/// observed convergence across the CI sweep width is ~3.2s of grace
+/// (seed 2, plan 2: double recrash cycles plus 13% ambient drop), so
+/// 4s leaves margin without materially slowing the sweep.
+const WF_GRACE: SimDuration = SimDuration::from_millis(4_000);
+
+const WF_CHAINS: u64 = 6;
+const WF_STEPS: u32 = 4;
+const WF_AMOUNT: i64 = 10;
+// Each chain walks its own 5-account range (base 5i → 5i+4): the audit
+// targets exactly-once under crashes, not lock-conflict throughput —
+// overlapping hot keys convoy all six chains behind 25 ms re-drive
+// sweeps and the sweep times out before the tail chain finishes.
+// Cross-chain conflict stress lives in the 2PC and sharded-2PC sweeps.
+const WF_SPAN: i64 = WF_STEPS as i64 + 1;
+const WF_ACCOUNTS: i64 = WF_CHAINS as i64 * WF_SPAN;
+const WF_START: i64 = 1_000;
+
+/// Workflow torture: the exactly-once runtime with *both* the
+/// orchestrator and the workers crashable mid-chain (the crash points
+/// where intent logs, idempotence dedup, and the `wf_guard` fence each
+/// earn their keep — an orchestrator restart re-drives completed steps,
+/// a worker restart replays intents whose transaction may have
+/// committed). Six 4-hop transfer chains over overlapping accounts run
+/// across the fault window on a 3-shard 2PC data tier.
+///
+/// After heal + grace:
+/// - **no stranded workflows** — every started chain is terminal, and
+///   none may fail (balances are ample, so there is no business error to
+///   hide behind);
+/// - **exactly-once step application** — every step marker reads exactly
+///   1 (the fence would have made a double-apply abort, and a marker > 1
+///   is impossible unless the guard was bypassed), and the committed
+///   step count equals chains × steps;
+/// - **conservation** — the account fleet still sums to the seed total;
+/// - **no residue** — no pending intents, no in-doubt branches, no open
+///   engine transactions, no open dtxs, and the idempotence tables are
+///   fully collected behind the completed-workflow watermark.
+pub fn workflow_torture_scenario(seed: u64, plan: &FaultPlan) -> Result<(), String> {
+    let mut sim = Sim::with_seed(seed);
+    let n_orch = sim.add_node();
+    let n_w0 = sim.add_node();
+    let n_w1 = sim.add_node();
+    let n_coord = sim.add_node();
+    let shard_nodes: Vec<_> = (0..3).map(|_| sim.add_node()).collect();
+    let seeds: Vec<(String, Value)> = (0..WF_ACCOUNTS)
+        .map(|i| (format!("acct{i}"), Value::Int(WF_START)))
+        .collect();
+    let deploy = deploy_workflow(
+        &mut sim,
+        n_orch,
+        &[n_w0, n_w1],
+        n_coord,
+        &shard_nodes,
+        &bank_registry(),
+        &seeds,
+        &[transfer_chain_def("chain", WF_STEPS)],
+        WorkflowConfig::default(),
+    );
+    // Orchestrator and both workers crash (and, under the
+    // crash-during-recovery profile, crash *again* inside the recovery
+    // window); partitions may cut any link. The data tier stays up — its
+    // fault tolerance is 2PC's claim, already tortured separately.
+    let mut partition_nodes = vec![n_orch, n_w0, n_w1, n_coord];
+    partition_nodes.extend(&shard_nodes);
+    plan.apply(&mut sim, &[n_orch, n_w0, n_w1], &partition_nodes);
+    // Starts injected across the first 3/4 of the window; one addressed
+    // to a crashed orchestrator is dropped by the kernel (the client
+    // never reached it — in a full stack it would retry).
+    let span = plan.horizon.as_nanos() * 3 / 4;
+    for i in 0..WF_CHAINS {
+        let at = 1_000_000 + span * i / WF_CHAINS;
+        sim.inject_at(
+            SimTime::from_nanos(at),
+            deploy.orchestrator,
+            Payload::new(RpcRequest {
+                call_id: i,
+                body: Payload::new(StartWorkflow {
+                    workflow: "chain".into(),
+                    args: vec![Value::Int(i as i64 * WF_SPAN), Value::Int(WF_AMOUNT)],
+                }),
+            }),
+        );
+    }
+    sim.run_until(SimTime::ZERO + plan.horizon + WF_GRACE);
+
+    // --- Audits ---
+    let started = counter(&sim, "workflow.started");
+    let completed = counter(&sim, "workflow.completed");
+    let failed = counter(&sim, "workflow.failed");
+    if failed != 0 {
+        return Err(format!(
+            "{failed} workflows failed — balances are ample, so a failure means \
+             a transient fault was misclassified as a business error"
+        ));
+    }
+    if completed != started {
+        let open = sim
+            .inspect::<WorkflowOrchestrator>(deploy.orchestrator)
+            .map(|o| o.open_workflow_states())
+            .unwrap_or_default();
+        let intents: Vec<usize> = deploy
+            .workers
+            .iter()
+            .map(|&w| {
+                sim.inspect::<WorkflowWorker>(w)
+                    .map(|w| w.pending_intents())
+                    .unwrap_or(0)
+            })
+            .collect();
+        return Err(format!(
+            "stranded: {started} workflows started but only {completed} completed \
+             (open (wf, seq, in_flight): {open:?}, worker intents: {intents:?})"
+        ));
+    }
+    let orch = sim
+        .inspect::<WorkflowOrchestrator>(deploy.orchestrator)
+        .ok_or("cannot inspect orchestrator")?;
+    if orch.open_workflows() != 0 {
+        return Err(format!(
+            "stranded: {} workflows never reached a terminal state",
+            orch.open_workflows()
+        ));
+    }
+    let benign = plan.events.is_empty() && plan.drop_prob == 0.0 && plan.dup_prob == 0.0;
+    if benign && completed != WF_CHAINS {
+        return Err(format!(
+            "benign plan must complete all {WF_CHAINS} chains, got {completed}"
+        ));
+    }
+    // Exactly-once: every step of every started chain applied exactly
+    // once. The guard writes marker=1 and a second application aborts, so
+    // any marker != 1 (or any marker beyond the started range) is a
+    // bypassed fence.
+    let mut applied = 0u64;
+    for wf in 1..=started + 2 {
+        for seq in 0..WF_STEPS {
+            let marker = peek_sharded(
+                &sim,
+                &deploy.participants,
+                &deploy.map,
+                &step_marker_key(wf, seq),
+            );
+            match marker {
+                Some(1) if wf <= started => applied += 1,
+                None if wf > started => {}
+                other => {
+                    return Err(format!(
+                        "exactly-once: marker {wf}:{seq} reads {other:?} with {started} chains started"
+                    ));
+                }
+            }
+        }
+    }
+    if applied != started * WF_STEPS as u64 {
+        return Err(format!(
+            "exactly-once: {applied} steps applied for {started} chains of {WF_STEPS}"
+        ));
+    }
+    // Conservation: chains move money along the account line, never mint.
+    let total: i64 = (0..WF_ACCOUNTS)
+        .map(|i| {
+            peek_sharded(&sim, &deploy.participants, &deploy.map, &format!("acct{i}"))
+                .unwrap_or(WF_START)
+        })
+        .sum();
+    if total != WF_ACCOUNTS * WF_START {
+        return Err(format!(
+            "conservation: balances sum to {total}, expected {}",
+            WF_ACCOUNTS * WF_START
+        ));
+    }
+    // No residue anywhere in the stack.
+    for (i, &worker) in deploy.workers.iter().enumerate() {
+        let w = sim
+            .inspect::<WorkflowWorker>(worker)
+            .ok_or_else(|| format!("cannot inspect worker {i}"))?;
+        if w.pending_intents() != 0 {
+            return Err(format!(
+                "worker {i} still holds {} unresolved intents",
+                w.pending_intents()
+            ));
+        }
+        if w.idem_entries() != 0 {
+            return Err(format!(
+                "worker {i} retains {} idempotence entries past the watermark",
+                w.idem_entries()
+            ));
+        }
+    }
+    for (i, &pid) in deploy.participants.iter().enumerate() {
+        let p = sim
+            .inspect::<TwoPcParticipant>(pid)
+            .ok_or_else(|| format!("cannot inspect shard {i}"))?;
+        if p.in_doubt() != 0 {
+            return Err(format!("shard {i} has {} in-doubt branches", p.in_doubt()));
+        }
+        if p.engine().active_count() != 0 {
+            return Err(format!(
+                "shard {i} has {} open engine transactions",
+                p.engine().active_count()
+            ));
+        }
+    }
+    let open = sim
+        .inspect::<TwoPcCoordinator>(deploy.coordinator)
+        .map(|c| c.open_dtxs())
+        .ok_or("cannot inspect coordinator")?;
+    if open != 0 {
+        return Err(format!("coordinator still tracks {open} open transactions"));
     }
     Ok(())
 }

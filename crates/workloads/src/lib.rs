@@ -7,6 +7,8 @@
 //! - [`marketplace`] — the Online Marketplace multi-service workload.
 //! - [`hotel`] — DeathStarBench-style hotel reservation mix.
 //! - [`ycsb`] — YCSB A–F with Zipfian skew.
+//! - [`chain`] — disjoint transfer chains for the exactly-once workflow
+//!   runtime, with marker-based double-apply audits (experiment E21).
 //! - [`rmw`] — interactive read-modify-write clients exposing isolation
 //!   anomalies (over-selling).
 //! - [`loadgen`] — closed-loop vs. open-loop (Poisson) generators.
@@ -16,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod chain;
 pub mod hotel;
 pub mod loadgen;
 pub mod marketplace;
@@ -24,6 +27,7 @@ pub mod rmw;
 pub mod tpcc;
 pub mod ycsb;
 
+pub use chain::ChainWorkload;
 pub use loadgen::{
     db_classifier, ClosedLoopConfig, ClosedLoopGen, KeyChooser, OpenLoopConfig, OpenLoopGen,
     PairChooser, RequestFactory, ResponseClassifier,

@@ -21,7 +21,7 @@
 set -eu
 
 OUT="${1:-bench_kernel_ci.json}"
-BASELINE="${2:-BENCH_2.json}"
+BASELINE="${2:-BENCH_3.json}"
 WALL_SLACK="${WALL_SLACK:-1.3}"
 
 rm -f "$OUT"

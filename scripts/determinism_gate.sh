@@ -103,3 +103,24 @@ else
     diff "$OUT_D1" "$OUT_D2" >&2 || true
     exit 1
 fi
+
+# Workflow pair: E21 is the only workload exercising the exactly-once
+# workflow runtime — durable intents, the idempotence table, wf_guard
+# fences, and the naive retry baseline's countable double-applies — two
+# runs at a fifth seed must agree byte-for-byte on every marker audit
+# and latency percentile.
+WSEED=$((SEED + 19))
+OUT_W1="$(mktemp)"
+OUT_W2="$(mktemp)"
+trap 'rm -f "$OUT_A" "$OUT_B" "$OUT_T" "$OUT_R1" "$OUT_R2" "$OUT_S1" "$OUT_S2" "$OUT_D1" "$OUT_D2" "$OUT_W1" "$OUT_W2"' EXIT
+
+./target/release/experiments --seed "$WSEED" e21 >"$OUT_W1"
+./target/release/experiments --seed "$WSEED" e21 >"$OUT_W2"
+
+if cmp -s "$OUT_W1" "$OUT_W2"; then
+    echo "WORKFLOW-DETERMINISM-OK: two seed=$WSEED E21 runs are byte-identical ($(wc -c <"$OUT_W1") bytes)"
+else
+    echo "WORKFLOW-DETERMINISM-FAIL: exactly-once workflow runs diverged (seed=$WSEED)" >&2
+    diff "$OUT_W1" "$OUT_W2" >&2 || true
+    exit 1
+fi

@@ -16,7 +16,8 @@ use tca::sim::{
 use tca::storage::{DbMsg, DbRequest, DbServer, DbServerConfig, ProcRegistry, Value};
 use tca::txn::{
     actor_torture_scenario, dataflow_torture_scenario, route_branches, saga_torture_scenario,
-    CoordinatorConfig, ParticipantConfig, ShardOp, StartDtx, TwoPcCoordinator, TwoPcParticipant,
+    workflow_torture_scenario, CoordinatorConfig, ParticipantConfig, ShardOp, StartDtx,
+    TwoPcCoordinator, TwoPcParticipant,
 };
 use tca::workloads::loadgen::{db_classifier, ClosedLoopConfig, ClosedLoopGen};
 use tca::workloads::marketplace::{
@@ -172,6 +173,26 @@ fn db_server_survives_repeated_crash_cycles_with_no_lost_commits() {
 // plan. The 2PC sweep lives in tests/torture_2pc.rs with its pinned
 // regressions. Widen any sweep with TCA_TORTURE_SEEDS=100.
 // ---------------------------------------------------------------------------
+
+#[test]
+fn workflow_torture_sweep() {
+    // The exactly-once workflow runtime with orchestrator AND worker
+    // crashes mid-chain — including the crash-during-recovery profile
+    // (a restart followed by a second crash inside the grace window),
+    // which is precisely where intent-log replay and the wf_guard fence
+    // must hold the line. Audits exactly-once step application (every
+    // marker reads 1), conservation, no stranded workflows, no residue.
+    let config = TortureConfig::from_env(6, 3, FaultProfile::crash_during_recovery());
+    torture("workflow", &config, workflow_torture_scenario);
+}
+
+#[test]
+fn workflow_torture_benign_plan_completes_every_chain() {
+    // Pinned fault-free regression: all six chains must complete and
+    // every audit (markers, conservation, GC residue) must hold exactly.
+    let plan = FaultPlan::benign(SimDuration::from_millis(400));
+    workflow_torture_scenario(7, &plan).expect("benign workflow plan must be clean");
+}
 
 #[test]
 fn saga_torture_sweep() {

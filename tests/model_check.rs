@@ -18,11 +18,14 @@
 //! mode; the release-mode E18 experiment and the CI `model-check` job push
 //! the same scenarios much deeper.
 
+use tca_sim::mc::McClosure;
 use tca_sim::mc::{check_schedule, explore};
+use tca_sim::SimDuration;
 use tca_sim::{McConfig, NodeId, Schedule};
 use tca_txn::mc_scenarios::{
     dataflow_mc_scenario, saga_id_reuse_schedule, saga_mc_scenario, sharded_twopc_mc_scenario,
     twopc_late_execute_mutation_scenario, twopc_mc_scenario, twopc_txid_reuse_schedule,
+    workflow_mc_scenario,
 };
 
 fn twopc_cfg() -> McConfig {
@@ -120,6 +123,46 @@ fn checker_verifies_dataflow_world_with_shard_crashes() {
         check_schedule(&sc, &cfg, &Schedule::default()),
         None,
         "fault-free replay must pass the dataflow audit"
+    );
+}
+
+#[test]
+fn checker_verifies_workflow_world_with_worker_crashes() {
+    // The exactly-once workflow world: a two-step transfer chain driven
+    // through the orchestrator → worker → 2PC stack, with a crash budget
+    // on the worker's node so the exploration reaches states where a
+    // durable intent exists but its step dtx died mid-flight. Intent
+    // replay, the wf_guard marker fence, and idempotence dedup must keep
+    // every step applied exactly once at every closed leaf. Leaves run a
+    // long closure: workflow retries pace in 100ms+ strides (step polls,
+    // dtx retries, the 25ms re-drive sweep, the 150ms conflict cooldown),
+    // so convergence needs more virtual time than the protocol worlds.
+    let sc = workflow_mc_scenario();
+    let cfg = McConfig {
+        max_depth: 5,
+        max_crashes: 1,
+        crashable: vec![NodeId(3)],
+        closure: McClosure::RunFor(SimDuration::from_millis(2_000)),
+        ..McConfig::default()
+    };
+    let report = explore(&sc, &cfg);
+    assert!(
+        report.verified(),
+        "expected verified workflow world, got {:?}",
+        report.violation
+    );
+    assert!(report.states > 0, "exploration must visit states");
+    assert!(
+        !report.truncated,
+        "state budget must not truncate this world"
+    );
+    assert!(!report.rng_impure, "workflow stack must stay draw-free");
+    // Cross-validation: the fault-free schedule replays clean through the
+    // same closure + audit the torture sweep uses.
+    assert_eq!(
+        check_schedule(&sc, &cfg, &Schedule::default()),
+        None,
+        "fault-free replay must pass the workflow audit"
     );
 }
 
@@ -240,6 +283,16 @@ fn deep_exploration_sweep() {
                 max_depth: 7,
                 max_crashes: 0,
                 crashable: vec![],
+                ..base.clone()
+            },
+        ),
+        (
+            "workflow×1 depth 6 +1 crash on worker or orchestrator",
+            workflow_mc_scenario(),
+            McConfig {
+                max_depth: 6,
+                crashable: vec![NodeId(3), NodeId(4)],
+                closure: McClosure::RunFor(SimDuration::from_millis(2_000)),
                 ..base
             },
         ),
